@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: conflict-resolution policy. The paper's baseline resolves
+ * conflicts by timestamp (older wins, NACKs), which avoids the classic
+ * eager-HTM pathologies (Sec. III-B1). This ablation compares it with
+ * requester-wins on the highly contended counter and mixed-list
+ * workloads, for both the baseline HTM and CommTM.
+ */
+
+#include "bench_util.h"
+
+#include "apps/micro.h"
+
+namespace commtm {
+namespace {
+
+constexpr uint64_t kTotalOps = 8000;
+constexpr uint32_t kThreads = 32;
+
+MachineConfig
+cfgWith(SystemMode mode, ConflictPolicy policy)
+{
+    MachineConfig cfg = benchutil::machineCfg(mode);
+    cfg.conflictPolicy = policy;
+    return cfg;
+}
+
+void
+label(benchmark::State &state, SystemMode mode, ConflictPolicy policy)
+{
+    state.SetLabel(std::string(benchutil::modeName(mode)) + " / " +
+                   (policy == ConflictPolicy::TimestampOlderWins
+                        ? "timestamp"
+                        : "requester-wins"));
+}
+
+void
+BM_Ablation_Policy_Counter(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto policy = ConflictPolicy(state.range(1));
+    MicroResult r;
+    for (auto _ : state)
+        r = runCounterMicro(cfgWith(mode, policy), kThreads, kTotalOps);
+    if (!r.valid)
+        state.SkipWithError("counter validation failed");
+    benchutil::reportStats(state, "abl_policy_counter", r.stats);
+    label(state, mode, policy);
+}
+
+void
+BM_Ablation_Policy_List(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto policy = ConflictPolicy(state.range(1));
+    MicroResult r;
+    for (auto _ : state)
+        r = runListMicro(cfgWith(mode, policy), kThreads, kTotalOps, 50);
+    if (!r.valid)
+        state.SkipWithError("list validation failed");
+    benchutil::reportStats(state, "abl_policy_list", r.stats);
+    label(state, mode, policy);
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Ablation_Policy_Counter)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   {int(commtm::ConflictPolicy::TimestampOlderWins),
+                    int(commtm::ConflictPolicy::RequesterWins)}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(commtm::BM_Ablation_Policy_List)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   {int(commtm::ConflictPolicy::TimestampOlderWins),
+                    int(commtm::ConflictPolicy::RequesterWins)}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: subset gathers — the paper's future-work enhancement of
+ * load_gather to "query a subset of sharers" (Sec. IV). The directory
+ * forwards split requests to only the N sharers nearest the requester.
+ * Smaller fanouts cut per-gather latency and split conflicts but lower
+ * the yield per gather (more gathers and reduction fallbacks); the
+ * sweep maps that tradeoff on the gather-heavy workloads.
+ */
+
+#include "bench_util.h"
+
+#include "apps/micro.h"
+
+namespace commtm {
+namespace {
+
+constexpr uint32_t kThreads = 64;
+
+void
+BM_Ablation_GatherFanout_Refcount(benchmark::State &state)
+{
+    const auto fanout = uint32_t(state.range(0));
+    MicroResult r;
+    for (auto _ : state) {
+        MachineConfig cfg = benchutil::machineCfg(SystemMode::CommTm);
+        cfg.gatherFanoutLimit = fanout;
+        r = runRefcountMicro(cfg, kThreads, 64000);
+    }
+    if (!r.valid)
+        state.SkipWithError("refcount validation failed");
+    benchutil::reportStats(state, "abl_fanout_refcount", r.stats);
+    state.counters["fanout"] = fanout;
+    state.SetLabel(fanout == 0 ? "all sharers (paper)"
+                               : "fanout " + std::to_string(fanout));
+}
+
+void
+BM_Ablation_GatherFanout_List(benchmark::State &state)
+{
+    const auto fanout = uint32_t(state.range(0));
+    MicroResult r;
+    for (auto _ : state) {
+        MachineConfig cfg = benchutil::machineCfg(SystemMode::CommTm);
+        cfg.gatherFanoutLimit = fanout;
+        r = runListMicro(cfg, kThreads, 32000, 50, 16);
+    }
+    if (!r.valid)
+        state.SkipWithError("list validation failed");
+    benchutil::reportStats(state, "abl_fanout_list", r.stats);
+    state.counters["fanout"] = fanout;
+    state.SetLabel(fanout == 0 ? "all sharers (paper)"
+                               : "fanout " + std::to_string(fanout));
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Ablation_GatherFanout_Refcount)
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(48)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(commtm::BM_Ablation_GatherFanout_List)
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(48)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: timing-model sensitivity to the scheduling quantum (the
+ * interleaving granularity of the simulator, DESIGN.md Sec. 2.1 —
+ * zsim's bound-phase analog). If the reported speedups were artifacts
+ * of the interleaving granularity, they would move with the quantum;
+ * stable results across two orders of magnitude validate the model.
+ */
+
+#include "bench_util.h"
+
+#include "apps/micro.h"
+
+namespace commtm {
+namespace {
+
+constexpr uint64_t kTotalOps = 8000;
+constexpr uint32_t kThreads = 32;
+
+void
+BM_Ablation_Quantum(benchmark::State &state)
+{
+    const auto quantum = Cycle(state.range(0));
+    const auto mode = SystemMode(state.range(1));
+    MicroResult r;
+    for (auto _ : state) {
+        MachineConfig cfg = benchutil::machineCfg(mode);
+        cfg.schedQuantum = quantum;
+        r = runCounterMicro(cfg, kThreads, kTotalOps);
+    }
+    if (!r.valid)
+        state.SkipWithError("counter validation failed");
+    benchutil::reportStats(state, "abl_quantum", r.stats);
+    state.counters["quantum"] = double(quantum);
+    state.SetLabel(std::string(benchutil::modeName(mode)) +
+                   " quantum=" + std::to_string(quantum));
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Ablation_Quantum)
+    ->ArgsProduct({{10, 100, 1000},
+                   {int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

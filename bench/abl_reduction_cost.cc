@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: reduction-handler cost sensitivity (Sec. III-B4 argues a
+ * dedicated shadow thread keeps reductions fast). The reduction-heavy
+ * configuration — reference counting on CommTM *without* gathers, where
+ * threads whose local value hits zero trigger frequent reductions —
+ * runs with increasing per-line reduction costs. CommTM-with-gathers is
+ * included at each point to show gathers also insulate against slow
+ * reduction hardware.
+ */
+
+#include "bench_util.h"
+
+#include "apps/micro.h"
+
+namespace commtm {
+namespace {
+
+constexpr uint64_t kTotalOps = 8000;
+constexpr uint32_t kThreads = 32;
+
+void
+BM_Ablation_ReductionCost(benchmark::State &state)
+{
+    const auto cost = Cycle(state.range(0));
+    const auto mode = SystemMode(state.range(1));
+    MicroResult r;
+    for (auto _ : state) {
+        MachineConfig cfg = benchutil::machineCfg(mode);
+        cfg.reductionFixedCost = cost;
+        r = runRefcountMicro(cfg, kThreads, kTotalOps);
+    }
+    if (!r.valid)
+        state.SkipWithError("refcount validation failed");
+    benchutil::reportStats(state, "abl_reduction_cost", r.stats);
+    state.counters["reduction_cost"] = double(cost);
+    state.SetLabel(std::string(benchutil::modeName(mode)) +
+                   " cost=" + std::to_string(cost));
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Ablation_ReductionCost)
+    ->ArgsProduct({{0, 8, 64, 512},
+                   {int(commtm::SystemMode::CommTmNoGather),
+                    int(commtm::SystemMode::CommTm)}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

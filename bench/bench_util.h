@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared benchmark-harness utilities. Every bench binary regenerates
+ * one table or figure of the paper: each google-benchmark row is one
+ * (system, thread-count) point, with counters carrying the simulated
+ * results (cycles, speedup vs. the baseline HTM at 1 thread, abort and
+ * traffic breakdowns). Wall time of the rows is simulator host time
+ * and is not meaningful; read the counters.
+ */
+
+#ifndef COMMTM_BENCH_BENCH_UTIL_H
+#define COMMTM_BENCH_BENCH_UTIL_H
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace commtm {
+namespace benchutil {
+
+inline MachineConfig
+machineCfg(SystemMode mode)
+{
+    MachineConfig cfg; // Table I defaults: 128 cores, 16 tiles, ...
+    cfg.mode = mode;
+    return cfg;
+}
+
+inline const char *
+modeName(SystemMode mode)
+{
+    switch (mode) {
+      case SystemMode::BaselineHtm:    return "Baseline";
+      case SystemMode::CommTmNoGather: return "CommTM-NoGather";
+      case SystemMode::CommTm:         return "CommTM";
+    }
+    return "?";
+}
+
+/** Per-figure cache of the reference runtime (baseline HTM, 1 thread).
+ *  Rows must be registered baseline-first so the reference fills in
+ *  before the other systems report speedups. */
+inline double &
+referenceCycles(const std::string &family)
+{
+    static std::map<std::string, double> cache;
+    return cache[family];
+}
+
+/** Fill the standard counters every figure reports. */
+inline void
+reportStats(benchmark::State &state, const std::string &family,
+            const StatsSnapshot &stats)
+{
+    const ThreadStats agg = stats.aggregateThreads();
+    const double cycles = double(stats.runtimeCycles());
+    double &base = referenceCycles(family);
+    if (base == 0.0)
+        base = cycles;
+
+    state.counters["sim_Mcycles"] = cycles / 1e6;
+    state.counters["speedup"] = base / cycles;
+    state.counters["commits"] = double(agg.txCommitted);
+    state.counters["aborts"] = double(agg.txAborted);
+
+    // Fig. 17-style cycle breakdown.
+    const double total = double(agg.totalCycles());
+    state.counters["cyc_nonTx%"] =
+        total ? 100.0 * double(agg.nonTxCycles) / total : 0;
+    state.counters["cyc_committed%"] =
+        total ? 100.0 * double(agg.txCommittedCycles) / total : 0;
+    state.counters["cyc_wasted%"] =
+        total ? 100.0 * double(agg.txAbortedCycles) / total : 0;
+
+    // Fig. 18-style wasted-cycle breakdown.
+    const double wasted = double(agg.txAbortedCycles);
+    const auto frac = [&](WasteBucket b) {
+        return wasted ? 100.0 * double(agg.wastedByCause[size_t(b)]) /
+                            wasted
+                      : 0.0;
+    };
+    state.counters["waste_RaW%"] = frac(WasteBucket::ReadAfterWrite);
+    state.counters["waste_WaR%"] = frac(WasteBucket::WriteAfterRead);
+    state.counters["waste_gather%"] =
+        frac(WasteBucket::GatherAfterLabeled);
+    state.counters["waste_other%"] = frac(WasteBucket::Others);
+
+    // Fig. 19-style GET breakdown (L2 <-> L3 requests).
+    state.counters["GETS"] =
+        double(stats.machine.l3Gets[size_t(GetType::GETS)]);
+    state.counters["GETX"] =
+        double(stats.machine.l3Gets[size_t(GetType::GETX)]);
+    state.counters["GETU"] =
+        double(stats.machine.l3Gets[size_t(GetType::GETU)]);
+
+    state.counters["labeled_frac"] =
+        agg.instrs ? double(agg.labeledInstrs) / double(agg.instrs) : 0;
+    state.counters["reductions"] = double(stats.machine.reductions);
+    state.counters["gathers"] = double(stats.machine.gathers);
+}
+
+/** Thread counts swept in the paper's figures (x-axes of Figs. 9-16). */
+inline const std::vector<int64_t> &
+threadSweep()
+{
+    static const std::vector<int64_t> sweep = {1, 2, 4, 8, 16,
+                                               32, 64, 96, 128};
+    return sweep;
+}
+
+/** Reduced sweep for the (slower) full applications. */
+inline const std::vector<int64_t> &
+appThreadSweep()
+{
+    static const std::vector<int64_t> sweep = {1, 8, 32, 64, 128};
+    return sweep;
+}
+
+} // namespace benchutil
+} // namespace commtm
+
+#endif // COMMTM_BENCH_BENCH_UTIL_H

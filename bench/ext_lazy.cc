@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Extension: lazy (commit-time) conflict detection — Sec. III-D argues
+ * CommTM "applies to HTMs with lazy conflict detection, such as TCC or
+ * Bulk". This bench crosses detection scheme x system on the counter
+ * and kmeans workloads: CommTM's commutative updates avoid conflicts
+ * under either detection scheme, while conventional HTMs serialize
+ * under both.
+ */
+
+#include "bench_util.h"
+
+#include "apps/kmeans.h"
+#include "apps/micro.h"
+
+namespace commtm {
+namespace {
+
+constexpr uint32_t kThreads = 64;
+
+MachineConfig
+cfgFor(SystemMode mode, ConflictDetection detection)
+{
+    MachineConfig cfg = benchutil::machineCfg(mode);
+    cfg.conflictDetection = detection;
+    return cfg;
+}
+
+void
+setRowLabel(benchmark::State &state, SystemMode mode,
+            ConflictDetection detection)
+{
+    state.SetLabel(std::string(benchutil::modeName(mode)) + " / " +
+                   (detection == ConflictDetection::Eager ? "eager"
+                                                          : "lazy"));
+}
+
+void
+BM_Ext_Lazy_Counter(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto detection = ConflictDetection(state.range(1));
+    MicroResult r;
+    for (auto _ : state)
+        r = runCounterMicro(cfgFor(mode, detection), kThreads, 12000);
+    if (!r.valid)
+        state.SkipWithError("counter validation failed");
+    benchutil::reportStats(state, "ext_lazy_counter", r.stats);
+    setRowLabel(state, mode, detection);
+}
+
+void
+BM_Ext_Lazy_Kmeans(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto detection = ConflictDetection(state.range(1));
+    KmeansConfig cfg;
+    cfg.numPoints = 1024;
+    cfg.maxIters = 3;
+    KmeansResult r;
+    for (auto _ : state)
+        r = runKmeans(cfgFor(mode, detection), kThreads, cfg);
+    if (!r.valid(cfg.numPoints))
+        state.SkipWithError("kmeans population mismatch");
+    benchutil::reportStats(state, "ext_lazy_kmeans", r.stats);
+    setRowLabel(state, mode, detection);
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Ext_Lazy_Counter)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   {int(commtm::ConflictDetection::Eager),
+                    int(commtm::ConflictDetection::Lazy)}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(commtm::BM_Ext_Lazy_Kmeans)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   {int(commtm::ConflictDetection::Eager),
+                    int(commtm::ConflictDetection::Lazy)}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

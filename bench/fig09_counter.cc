@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 9: speedup of the counter microbenchmark. Threads perform
+ * increments to a single shared counter. The paper's CommTM scales
+ * linearly while the baseline HTM serializes all transactions.
+ */
+
+#include "bench_util.h"
+
+#include "apps/micro.h"
+
+namespace commtm {
+namespace {
+
+constexpr uint64_t kTotalOps = 24000; // paper: 10M, scaled to sim speed
+
+void
+BM_Fig09_Counter(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto threads = uint32_t(state.range(1));
+    MicroResult r;
+    for (auto _ : state)
+        r = runCounterMicro(benchutil::machineCfg(mode), threads,
+                            kTotalOps);
+    if (!r.valid)
+        state.SkipWithError("counter validation failed");
+    benchutil::reportStats(state, "fig09", r.stats);
+    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
+                   std::to_string(threads) + "t");
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Fig09_Counter)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   commtm::benchutil::threadSweep()})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 10: speedup of the reference-counting microbenchmark (bounded
+ * non-negative counters, Sec. IV). Three systems, as in the paper:
+ * baseline HTM, CommTM without gather requests (frequent reductions
+ * serialize once local values hit zero), and CommTM with gathers.
+ */
+
+#include "bench_util.h"
+
+#include "apps/micro.h"
+
+namespace commtm {
+namespace {
+
+// The paper runs 1M references; the scaled run must still be large
+// enough that steady-state gather behavior (not the cold-start burst)
+// dominates at 128 threads: >= ~60 ops per (thread, object) pair.
+constexpr uint64_t kTotalOps = 128000;
+constexpr uint32_t kObjects = 16;
+
+void
+BM_Fig10_Refcount(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto threads = uint32_t(state.range(1));
+    MicroResult r;
+    for (auto _ : state)
+        r = runRefcountMicro(benchutil::machineCfg(mode), threads,
+                             kTotalOps, kObjects);
+    if (!r.valid)
+        state.SkipWithError("refcount validation failed");
+    benchutil::reportStats(state, "fig10", r.stats);
+    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
+                   std::to_string(threads) + "t");
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Fig10_Refcount)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTmNoGather),
+                    int(commtm::SystemMode::CommTm)},
+                   commtm::benchutil::threadSweep()})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

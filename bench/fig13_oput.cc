@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 13: speedup of the ordered-put (priority update) microbenchmark:
+ * random 64-bit key-value pairs replace the stored pair when the new
+ * key is lower. The baseline scales partially (only smaller keys cause
+ * conflicting writes); CommTM scales near-linearly.
+ */
+
+#include "bench_util.h"
+
+#include "apps/micro.h"
+
+namespace commtm {
+namespace {
+
+constexpr uint64_t kTotalOps = 24000; // paper: 10M, scaled
+
+void
+BM_Fig13_OrderedPut(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto threads = uint32_t(state.range(1));
+    MicroResult r;
+    for (auto _ : state)
+        r = runOputMicro(benchutil::machineCfg(mode), threads, kTotalOps);
+    if (!r.valid)
+        state.SkipWithError("ordered-put validation failed");
+    benchutil::reportStats(state, "fig13", r.stats);
+    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
+                   std::to_string(threads) + "t");
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Fig13_OrderedPut)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   commtm::benchutil::threadSweep()})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

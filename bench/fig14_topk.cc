@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 14: speedup of top-K insertion (K = 1000). The baseline
+ * serializes on superfluous read-write dependences through the global
+ * heap; CommTM builds per-core heaps that merge on reads.
+ */
+
+#include "bench_util.h"
+
+#include "apps/micro.h"
+
+namespace commtm {
+namespace {
+
+constexpr uint64_t kTotalOps = 48000; // paper: 10M inserts, scaled
+constexpr uint32_t kK = 100; // paper: K=1000; K and ops scaled together
+
+void
+BM_Fig14_TopK(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto threads = uint32_t(state.range(1));
+    MicroResult r;
+    for (auto _ : state)
+        r = runTopkMicro(benchutil::machineCfg(mode), threads, kTotalOps,
+                         kK);
+    if (!r.valid)
+        state.SkipWithError("top-K validation failed");
+    benchutil::reportStats(state, "fig14", r.stats);
+    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
+                   std::to_string(threads) + "t");
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Fig14_TopK)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   commtm::benchutil::threadSweep()})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figs. 16d/17d/18d: genome. The resizable hash table's remaining-space
+ * counter (bounded ADD with gather) dominates: the paper reports 3.0x
+ * for CommTM at 128 threads and 8.3x fewer wasted cycles. The
+ * no-gather configuration is included to show gathers matter here
+ * (genome is one of the two gather-using applications, Table II).
+ */
+
+#include "bench_util.h"
+
+#include "apps/genome.h"
+
+namespace commtm {
+namespace {
+
+void
+BM_Fig16_Genome(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto threads = uint32_t(state.range(1));
+    GenomeConfig cfg;
+    cfg.genomeLength = 8192;
+    cfg.numSegments = 16384;
+    GenomeResult r;
+    for (auto _ : state)
+        r = runGenome(benchutil::machineCfg(mode), threads, cfg);
+    if (!r.valid())
+        state.SkipWithError("genome dedup/link mismatch");
+    benchutil::reportStats(state, "fig16_genome", r.stats);
+    state.counters["resizes"] = double(r.tableResizes);
+    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
+                   std::to_string(threads) + "t");
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Fig16_Genome)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTmNoGather),
+                    int(commtm::SystemMode::CommTm)},
+                   commtm::benchutil::appThreadSweep()})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figs. 16b/17b/18b and 19b: kmeans. The paper's strongest result:
+ * commutative FP-ADD centroid updates give CommTM 3.4x over the
+ * baseline at 128 threads, 25x fewer wasted cycles, and 45% fewer
+ * L3 GET requests.
+ */
+
+#include "bench_util.h"
+
+#include "apps/kmeans.h"
+
+namespace commtm {
+namespace {
+
+void
+BM_Fig16_Kmeans(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto threads = uint32_t(state.range(1));
+    KmeansConfig cfg;
+    cfg.numPoints = 2048;
+    cfg.maxIters = 4;
+    KmeansResult r;
+    for (auto _ : state)
+        r = runKmeans(benchutil::machineCfg(mode), threads, cfg);
+    if (!r.valid(cfg.numPoints))
+        state.SkipWithError("kmeans population mismatch");
+    benchutil::reportStats(state, "fig16_kmeans", r.stats);
+    state.counters["iterations"] = r.iterations;
+    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
+                   std::to_string(threads) + "t");
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Fig16_Kmeans)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   commtm::benchutil::appThreadSweep()})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figs. 16c/17c/18c: ssca2. Shared commutative updates are rare, so the
+ * paper reports only +0.2% for CommTM — the "commutativity barely
+ * matters here" control case. The interesting check is that CommTM does
+ * not hurt.
+ */
+
+#include "bench_util.h"
+
+#include "apps/ssca2.h"
+
+namespace commtm {
+namespace {
+
+void
+BM_Fig16_Ssca2(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto threads = uint32_t(state.range(1));
+    Ssca2Config cfg;
+    cfg.scale = 14; // paper: -s16; small scales create artificial contention
+    cfg.edgeFactor = 8;
+    Ssca2Result r;
+    for (auto _ : state)
+        r = runSsca2(benchutil::machineCfg(mode), threads, cfg);
+    if (!r.valid())
+        state.SkipWithError("ssca2 adjacency inconsistent");
+    benchutil::reportStats(state, "fig16_ssca2", r.stats);
+    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
+                   std::to_string(threads) + "t");
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Fig16_Ssca2)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   commtm::benchutil::appThreadSweep()})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

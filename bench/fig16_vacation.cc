@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figs. 16e/17e/18e: vacation. Travel-reservation database over
+ * resizable hash tables; the paper reports +45% for CommTM at 128
+ * threads and 2.6x fewer wasted cycles. Like genome, vacation uses
+ * gathers (Table II), so the no-gather configuration is included.
+ */
+
+#include "bench_util.h"
+
+#include "apps/vacation.h"
+
+namespace commtm {
+namespace {
+
+void
+BM_Fig16_Vacation(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto threads = uint32_t(state.range(1));
+    VacationConfig cfg;
+    cfg.relations = 2048;
+    cfg.numTasks = 6144;
+    VacationResult r;
+    for (auto _ : state)
+        r = runVacation(benchutil::machineCfg(mode), threads, cfg);
+    if (!r.valid())
+        state.SkipWithError("vacation inventory not conserved");
+    benchutil::reportStats(state, "fig16_vacation", r.stats);
+    state.counters["reservations"] = double(r.reservationsMade);
+    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
+                   std::to_string(threads) + "t");
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Fig16_Vacation)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTmNoGather),
+                    int(commtm::SystemMode::CommTm)},
+                   commtm::benchutil::appThreadSweep()})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Table II: benchmark characteristics — which commutative operations
+ * each application uses, whether it uses gathers, and the fraction of
+ * labeled instructions (reported in Sec. VII's text). Each row runs
+ * the application once on CommTM at 16 threads and reports the
+ * measured characteristics as counters.
+ */
+
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "apps/boruvka.h"
+#include "apps/genome.h"
+#include "apps/kmeans.h"
+#include "apps/ssca2.h"
+#include "apps/vacation.h"
+
+namespace commtm {
+namespace {
+
+constexpr uint32_t kThreads = 16;
+
+void
+report(benchmark::State &state, const StatsSnapshot &stats,
+       const char *ops, bool uses_gather)
+{
+    const ThreadStats agg = stats.aggregateThreads();
+    state.counters["labeled_frac"] =
+        agg.instrs ? double(agg.labeledInstrs) / double(agg.instrs) : 0;
+    state.counters["uses_gather"] = uses_gather ? 1 : 0;
+    state.counters["gathers_measured"] = double(stats.machine.gathers);
+    state.counters["splits"] = double(stats.machine.splits);
+    state.counters["reductions"] = double(stats.machine.reductions);
+    state.SetLabel(ops);
+}
+
+void
+BM_Table2_Boruvka(benchmark::State &state)
+{
+    BoruvkaResult r;
+    for (auto _ : state) {
+        BoruvkaConfig cfg;
+        cfg.numVertices = 2048;
+        r = runBoruvka(benchutil::machineCfg(SystemMode::CommTm),
+                       kThreads, cfg);
+    }
+    report(state, r.stats,
+           "min-weight edges (64b OPUT); union (64b MIN); "
+           "mark edges (64b MAX); MST weight (64b ADD)",
+           false);
+}
+
+void
+BM_Table2_Kmeans(benchmark::State &state)
+{
+    KmeansResult r;
+    for (auto _ : state) {
+        KmeansConfig cfg;
+        cfg.numPoints = 1024;
+        cfg.maxIters = 3;
+        r = runKmeans(benchutil::machineCfg(SystemMode::CommTm),
+                      kThreads, cfg);
+    }
+    report(state, r.stats,
+           "cluster centers (32b ADD, 32b FP ADD)", false);
+}
+
+void
+BM_Table2_Ssca2(benchmark::State &state)
+{
+    Ssca2Result r;
+    for (auto _ : state) {
+        Ssca2Config cfg;
+        cfg.scale = 10;
+        r = runSsca2(benchutil::machineCfg(SystemMode::CommTm), kThreads,
+                     cfg);
+    }
+    report(state, r.stats, "global graph metadata (32b ADD)", false);
+}
+
+void
+BM_Table2_Genome(benchmark::State &state)
+{
+    GenomeResult r;
+    for (auto _ : state) {
+        GenomeConfig cfg;
+        cfg.genomeLength = 4096;
+        cfg.numSegments = 8192;
+        r = runGenome(benchutil::machineCfg(SystemMode::CommTm), kThreads,
+                      cfg);
+    }
+    report(state, r.stats,
+           "remaining-space counter of a resizable hash table "
+           "(bounded 64b ADD)",
+           true);
+}
+
+void
+BM_Table2_Vacation(benchmark::State &state)
+{
+    VacationResult r;
+    for (auto _ : state) {
+        VacationConfig cfg;
+        cfg.relations = 1024;
+        cfg.numTasks = 2048;
+        r = runVacation(benchutil::machineCfg(SystemMode::CommTm),
+                        kThreads, cfg);
+    }
+    report(state, r.stats,
+           "remaining-space counter of a resizable hash table "
+           "(bounded 64b ADD)",
+           true);
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Table2_Boruvka)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(commtm::BM_Table2_Kmeans)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(commtm::BM_Table2_Ssca2)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(commtm::BM_Table2_Genome)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(commtm::BM_Table2_Vacation)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

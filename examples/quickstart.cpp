@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: the paper's running example (Sec. III-A) — concurrent
+ * commutative increments to a shared counter.
+ *
+ * Builds a simulated 128-core CommTM machine, defines an ADD label,
+ * runs 16 threads incrementing one counter transactionally, and shows
+ * that the increments proceeded concurrently (no aborts, no coherence
+ * traffic beyond the initial GETUs), unlike a conventional HTM.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "lib/counter.h"
+#include "rt/machine.h"
+
+using namespace commtm;
+
+namespace {
+
+StatsSnapshot
+run(SystemMode mode, int threads, int increments, int64_t *result)
+{
+    MachineConfig cfg; // Table I defaults: 128 cores, MESI+U, 4x4 mesh
+    cfg.mode = mode;
+
+    Machine m(cfg);
+    const Label add = CommCounter::defineLabel(m);
+    CommCounter counter(m, add);
+
+    for (int t = 0; t < threads; t++) {
+        m.addThread([&](ThreadContext &ctx) {
+            // Each add() is a transaction of labeled loads/stores:
+            //   tx_begin();
+            //   local = load[ADD](counter);
+            //   store[ADD](counter, local + 1);
+            //   tx_end();
+            for (int i = 0; i < increments; i++)
+                counter.add(ctx, 1);
+        });
+    }
+    m.run();
+    *result = counter.peek(m);
+    return m.stats();
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int kThreads = 16;
+    constexpr int kIncrements = 500;
+
+    std::printf("CommTM quickstart: %d threads x %d increments\n\n",
+                kThreads, kIncrements);
+
+    for (SystemMode mode :
+         {SystemMode::BaselineHtm, SystemMode::CommTm}) {
+        int64_t value = 0;
+        const StatsSnapshot stats =
+            run(mode, kThreads, kIncrements, &value);
+        const ThreadStats agg = stats.aggregateThreads();
+        std::printf("%-12s value=%-6lld cycles=%-8llu aborts=%-6llu "
+                    "wasted=%.1f%%\n",
+                    mode == SystemMode::CommTm ? "CommTM" : "Baseline",
+                    (long long)value,
+                    (unsigned long long)stats.runtimeCycles(),
+                    (unsigned long long)agg.txAborted,
+                    agg.totalCycles()
+                        ? 100.0 * double(agg.txAbortedCycles) /
+                              double(agg.totalCycles())
+                        : 0.0);
+        if (value != int64_t(kThreads) * kIncrements) {
+            std::printf("FAIL: lost updates!\n");
+            return 1;
+        }
+    }
+    std::printf("\nBoth systems compute the same value; CommTM does it "
+                "without serializing the transactions.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Resource pool with reference counting: the bounded non-negative
+ * counter use case of Sec. IV. A pool of connections is acquired and
+ * released by many worker threads; the free-slot counter supports
+ * commutative increments, and conditionally-commutative decrements
+ * that rebalance free slots across caches with gather requests instead
+ * of serializing on reductions.
+ *
+ * Run it twice — with and without gathers — to see the difference the
+ * paper's Fig. 10 quantifies.
+ *
+ *   $ ./examples/resource_pool
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "lib/bounded_counter.h"
+#include "rt/machine.h"
+
+using namespace commtm;
+
+namespace {
+
+struct Outcome {
+    Cycle cycles;
+    uint64_t gathers;
+    uint64_t reductions;
+    int64_t leaked;
+};
+
+Outcome
+run(SystemMode mode)
+{
+    constexpr int kWorkers = 16;
+    constexpr int kOpsEach = 600;
+    constexpr int64_t kPoolSize = 320;
+
+    MachineConfig cfg;
+    cfg.mode = mode;
+    Machine m(cfg);
+    const Label label = BoundedCounter::defineLabel(m);
+    BoundedCounter free_slots(m, label, kPoolSize);
+
+    std::vector<int64_t> held(kWorkers, 0);
+    for (int w = 0; w < kWorkers; w++) {
+        m.addThread([&, w](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < kOpsEach; i++) {
+                if (held[w] > 0 && rng.chance(0.5)) {
+                    free_slots.increment(ctx); // release
+                    held[w]--;
+                } else if (free_slots.decrement(ctx)) { // acquire
+                    held[w]++;
+                }
+                ctx.compute(30); // use the connection
+            }
+            // Drain: release everything.
+            while (held[w] > 0) {
+                free_slots.increment(ctx);
+                held[w]--;
+            }
+        });
+    }
+    m.run();
+
+    Outcome o;
+    o.cycles = m.stats().runtimeCycles();
+    o.gathers = m.stats().machine.gathers;
+    o.reductions = m.stats().machine.reductions;
+    o.leaked = kPoolSize - free_slots.peek(m);
+    return o;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("resource pool: 16 workers sharing 320 slots\n\n");
+    bool ok = true;
+    for (SystemMode mode :
+         {SystemMode::BaselineHtm, SystemMode::CommTmNoGather,
+          SystemMode::CommTm}) {
+        const Outcome o = run(mode);
+        const char *name = mode == SystemMode::BaselineHtm
+                               ? "Baseline"
+                               : mode == SystemMode::CommTmNoGather
+                                     ? "CommTM w/o gather"
+                                     : "CommTM w/ gather";
+        std::printf("%-18s cycles=%-9llu gathers=%-5llu "
+                    "reductions=%-5llu leaked=%lld\n",
+                    name, (unsigned long long)o.cycles,
+                    (unsigned long long)o.gathers,
+                    (unsigned long long)o.reductions,
+                    (long long)o.leaked);
+        ok = ok && o.leaked == 0;
+    }
+    std::printf("\nAll slots returned to the pool in every mode.\n");
+    return ok ? 0 : 1;
+}

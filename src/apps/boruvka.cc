@@ -1,0 +1,229 @@
+#include "apps/boruvka.h"
+
+#include <algorithm>
+
+#include "lib/ordered_put.h"
+#include "rt/machine.h"
+
+namespace commtm {
+
+namespace {
+
+/** Simulated-memory layout of the boruvka working set. */
+struct BoruvkaMem {
+    Addr parent;     //!< numVertices x int64 (MIN label)
+    Addr minEdge;    //!< numVertices x OrderedPut::Pair (OPUT label)
+    Addr edges;      //!< numEdges x {u32 u, u32 v, u64 w}
+    Addr marks;      //!< numEdges x int64 (MAX label)
+    Addr weight;     //!< int64 (ADD label)
+    Addr roots;      //!< per-round int64 root counters (ADD label)
+    Addr contFlag;   //!< int64, written by thread 0
+
+    static constexpr uint32_t kEdgeSize = 16;
+};
+
+/** Walk parent pointers to the component root (no path compression:
+ *  parents only change at unions, via MIN). */
+uint32_t
+find(ThreadContext &ctx, const BoruvkaMem &mem, uint32_t x)
+{
+    for (;;) {
+        const int64_t p = ctx.read<int64_t>(mem.parent + 8 * Addr(x));
+        if (p == int64_t(x))
+            return x;
+        x = uint32_t(p);
+    }
+}
+
+} // namespace
+
+BoruvkaResult
+runBoruvka(const MachineConfig &machine_cfg, uint32_t threads,
+           const BoruvkaConfig &cfg)
+{
+    const HostGraph graph = roadNetwork(cfg.numVertices, cfg.graphSeed);
+    const uint32_t num_v = graph.numVertices;
+    const uint32_t num_e = uint32_t(graph.edges.size());
+    constexpr uint32_t kMaxRounds = 64;
+
+    Machine m(machine_cfg);
+    const Label oput = OrderedPut::defineLabel(m);
+    const Label lmin = m.labels().define(labels::makeMin<int64_t>("MIN"));
+    const Label lmax = m.labels().define(labels::makeMax<int64_t>("MAX"));
+    const Label ladd = m.labels().define(labels::makeAdd<int64_t>("ADD"));
+
+    BoruvkaMem mem;
+    mem.parent = m.allocator().alloc(8 * Addr(num_v), kLineSize);
+    mem.minEdge = m.allocator().alloc(16 * Addr(num_v), kLineSize);
+    mem.edges = m.allocator().alloc(
+        Addr(BoruvkaMem::kEdgeSize) * num_e, kLineSize);
+    mem.marks = m.allocator().alloc(8 * Addr(num_e), kLineSize);
+    mem.weight = m.allocator().allocLines(1);
+    mem.roots = m.allocator().alloc(8 * kMaxRounds, kLineSize);
+    mem.contFlag = m.allocator().allocLines(1);
+
+    // Host-side initialization (before the measured parallel region).
+    for (uint32_t v = 0; v < num_v; v++) {
+        m.memory().write<int64_t>(mem.parent + 8 * Addr(v), v);
+        OrderedPut::initCell(m, mem.minEdge + 16 * Addr(v));
+    }
+    for (uint32_t e = 0; e < num_e; e++) {
+        const Addr rec = mem.edges + Addr(BoruvkaMem::kEdgeSize) * e;
+        m.memory().write<uint32_t>(rec + 0, graph.edges[e].u);
+        m.memory().write<uint32_t>(rec + 4, graph.edges[e].v);
+        m.memory().write<uint64_t>(rec + 8, graph.edges[e].weight);
+        m.memory().write<int64_t>(mem.marks + 8 * Addr(e),
+                                  std::numeric_limits<int64_t>::lowest());
+    }
+    m.memory().write<int64_t>(mem.contFlag, 1);
+
+    uint32_t rounds_done = 0;
+
+    for (uint32_t t = 0; t < threads; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            const uint32_t e_lo = uint32_t(uint64_t(num_e) * t / threads);
+            const uint32_t e_hi =
+                uint32_t(uint64_t(num_e) * (t + 1) / threads);
+            const uint32_t v_lo = uint32_t(uint64_t(num_v) * t / threads);
+            const uint32_t v_hi =
+                uint32_t(uint64_t(num_v) * (t + 1) / threads);
+            // Thread-local dead-edge cache (a register/stack-level
+            // optimization; real implementations compact edge lists).
+            std::vector<bool> dead(e_hi - e_lo, false);
+
+            for (uint32_t round = 0; round < kMaxRounds; round++) {
+                // Phase A: record each component's minimum-weight edge.
+                for (uint32_t e = e_lo; e < e_hi; e++) {
+                    if (dead[e - e_lo])
+                        continue;
+                    const Addr rec =
+                        mem.edges + Addr(BoruvkaMem::kEdgeSize) * e;
+                    bool is_dead = false;
+                    ctx.txRun([&] {
+                        is_dead = false;
+                        const auto u = ctx.read<uint32_t>(rec + 0);
+                        const auto v = ctx.read<uint32_t>(rec + 4);
+                        const auto w = ctx.read<uint64_t>(rec + 8);
+                        const uint32_t cu = find(ctx, mem, u);
+                        const uint32_t cv = find(ctx, mem, v);
+                        if (cu == cv) {
+                            is_dead = true;
+                            return;
+                        }
+                        OrderedPut pu(mem.minEdge + 16 * Addr(cu), oput);
+                        OrderedPut pv(mem.minEdge + 16 * Addr(cv), oput);
+                        pu.put(ctx, int64_t(w), e);
+                        pv.put(ctx, int64_t(w), e);
+                        ctx.compute(8);
+                    });
+                    if (is_dead)
+                        dead[e - e_lo] = true;
+                }
+                ctx.barrier();
+
+                // Phase B: for every live root, add its minimum edge to
+                // the MST and union the two components (MIN), marking
+                // the edge (MAX).
+                int64_t my_roots = 0;
+                for (uint32_t c = v_lo; c < v_hi; c++) {
+                    bool is_root = false;
+                    ctx.txRun([&] {
+                        is_root = false;
+                        if (ctx.read<int64_t>(mem.parent + 8 * Addr(c)) !=
+                            int64_t(c)) {
+                            return;
+                        }
+                        is_root = true;
+                        const Addr cell = mem.minEdge + 16 * Addr(c);
+                        const auto key = ctx.read<int64_t>(cell);
+                        const auto eid = ctx.read<uint64_t>(cell + 8);
+                        if (key == OrderedPut::kEmptyKey)
+                            return;
+                        // Reset the cell for the next round.
+                        ctx.write<int64_t>(cell, OrderedPut::kEmptyKey);
+                        ctx.write<uint64_t>(cell + 8, 0);
+                        const Addr rec = mem.edges +
+                                         Addr(BoruvkaMem::kEdgeSize) * eid;
+                        const auto u = ctx.read<uint32_t>(rec + 0);
+                        const auto v = ctx.read<uint32_t>(rec + 4);
+                        const uint32_t cu = find(ctx, mem, u);
+                        const uint32_t cv = find(ctx, mem, v);
+                        if (cu == cv)
+                            return;
+                        const uint32_t hi = std::max(cu, cv);
+                        const uint32_t lo = std::min(cu, cv);
+                        // Union: parents only decrease (64b MIN).
+                        ctx.writeLabeled<int64_t>(
+                            mem.parent + 8 * Addr(hi), lmin, lo);
+                        // Mark the edge as part of the MST (64b MAX).
+                        ctx.writeLabeled<int64_t>(
+                            mem.marks + 8 * Addr(eid), lmax, 1);
+                        ctx.compute(8);
+                    });
+                    if (is_root)
+                        my_roots++;
+                }
+                // Count live roots (64b ADD) to decide termination.
+                ctx.txRun([&] {
+                    const Addr cell = mem.roots + 8 * Addr(round);
+                    const int64_t local =
+                        ctx.readLabeled<int64_t>(cell, ladd);
+                    ctx.writeLabeled<int64_t>(cell, ladd,
+                                              local + my_roots);
+                });
+                ctx.barrier();
+                if (t == 0) {
+                    int64_t roots = 0;
+                    ctx.txRun([&] {
+                        roots = ctx.read<int64_t>(mem.roots +
+                                                  8 * Addr(round));
+                    });
+                    ctx.write<int64_t>(mem.contFlag, roots > 1 ? 1 : 0);
+                    rounds_done = round + 1;
+                }
+                ctx.barrier();
+                int64_t cont = 0;
+                ctx.txRun(
+                    [&] { cont = ctx.read<int64_t>(mem.contFlag); });
+                if (cont == 0)
+                    break;
+            }
+
+            // Weight pass: sum the weights of marked edges (64b ADD).
+            int64_t local_weight = 0;
+            for (uint32_t e = e_lo; e < e_hi; e++) {
+                int64_t mark = 0;
+                uint64_t w = 0;
+                ctx.txRun([&] {
+                    mark = ctx.read<int64_t>(mem.marks + 8 * Addr(e));
+                    w = ctx.read<uint64_t>(
+                        mem.edges + Addr(BoruvkaMem::kEdgeSize) * e + 8);
+                });
+                if (mark > 0)
+                    local_weight += int64_t(w);
+            }
+            ctx.txRun([&] {
+                const int64_t cur =
+                    ctx.readLabeled<int64_t>(mem.weight, ladd);
+                ctx.writeLabeled<int64_t>(mem.weight, ladd,
+                                          cur + local_weight);
+            });
+        });
+    }
+
+    m.run();
+
+    BoruvkaResult result;
+    result.stats = m.stats();
+    const LineData wline =
+        m.memSys().debugReducedValue(lineAddr(mem.weight));
+    int64_t weight;
+    std::memcpy(&weight, wline.data() + lineOffset(mem.weight),
+                sizeof(weight));
+    result.mstWeight = uint64_t(weight);
+    result.referenceWeight = kruskalMstWeight(graph);
+    result.rounds = rounds_done;
+    return result;
+}
+
+} // namespace commtm

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * boruvka: parallel minimum-spanning-tree via Boruvka's algorithm
+ * (implemented from scratch, as in the paper, Sec. VII / Table II).
+ *
+ * Commutative operations used:
+ *  - OPUT (64b-key ordered put): record the minimum-weight edge leaving
+ *    each component.
+ *  - MIN (64b): union two components (parent pointers only decrease).
+ *  - MAX (64b): mark edges added to the MST (idempotent).
+ *  - ADD (64b): accumulate the MST weight and live-root counts.
+ */
+
+#ifndef COMMTM_APPS_BORUVKA_H
+#define COMMTM_APPS_BORUVKA_H
+
+#include "apps/graph.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace commtm {
+
+struct BoruvkaConfig {
+    uint32_t numVertices = 4096;
+    uint64_t graphSeed = 42;
+};
+
+struct BoruvkaResult {
+    StatsSnapshot stats;
+    uint64_t mstWeight = 0;
+    uint64_t referenceWeight = 0; //!< Kruskal, host-side
+    uint32_t rounds = 0;
+
+    bool valid() const { return mstWeight == referenceWeight; }
+};
+
+/** Build a machine with @p machine_cfg, run boruvka on @p threads. */
+BoruvkaResult runBoruvka(const MachineConfig &machine_cfg,
+                         uint32_t threads, const BoruvkaConfig &cfg);
+
+} // namespace commtm
+
+#endif // COMMTM_APPS_BORUVKA_H

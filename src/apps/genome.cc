@@ -1,0 +1,124 @@
+#include "apps/genome.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "lib/hash_table.h"
+#include "rt/machine.h"
+
+namespace commtm {
+
+GenomeResult
+runGenome(const MachineConfig &machine_cfg, uint32_t threads,
+          const GenomeConfig &cfg)
+{
+    // Host-side input: segment start positions sampled with duplicates
+    // (a random genome has no accidental repeats, so segment content
+    // identity == start position identity).
+    Rng rng(cfg.seed);
+    std::vector<uint64_t> segments(cfg.numSegments);
+    for (auto &s : segments)
+        s = rng.below(cfg.genomeLength) + 1; // keys are nonzero
+
+    // Host-side references.
+    std::unordered_set<uint64_t> unique(segments.begin(), segments.end());
+    const uint32_t overlap = cfg.segmentLength / 2;
+    uint64_t expected_linked = 0;
+    for (uint64_t pos : unique) {
+        if (unique.count(pos + overlap))
+            expected_linked++;
+    }
+
+    Machine m(machine_cfg);
+    const Label bounded = BoundedCounter::defineLabel(m);
+    const Label l_add = m.labels().define(labels::makeAdd<int64_t>("ADD"));
+    // Start small so the table resizes a few times as unique segments
+    // accumulate (the Blundell-style behavior the paper compiles in).
+    ResizableHashMap table(m, bounded, 256, 1.0);
+
+    const Addr seg_arr =
+        m.allocator().alloc(8 * Addr(cfg.numSegments), kLineSize);
+    for (uint32_t i = 0; i < cfg.numSegments; i++)
+        m.memory().write<uint64_t>(seg_arr + 8 * Addr(i), segments[i]);
+    const Addr links = m.allocator().alloc(
+        8 * Addr(cfg.genomeLength + cfg.segmentLength + 2), kLineSize);
+    const Addr link_count = m.allocator().allocLines(1);
+
+    for (uint32_t t = 0; t < threads; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            const uint32_t lo =
+                uint32_t(uint64_t(cfg.numSegments) * t / threads);
+            const uint32_t hi =
+                uint32_t(uint64_t(cfg.numSegments) * (t + 1) / threads);
+
+            // Phase 1: deduplicate segments. Every successful insert
+            // consumes a unit of the table's remaining space (bounded
+            // commutative decrement, with gathers when supported).
+            std::vector<uint64_t> mine; // segments this thread dedup'd
+            for (uint32_t i = lo; i < hi; i++) {
+                uint64_t pos = 0;
+                ctx.txRun([&] {
+                    pos = ctx.read<uint64_t>(seg_arr + 8 * Addr(i));
+                });
+                if (table.insert(ctx, pos, pos))
+                    mine.push_back(pos);
+                ctx.compute(cfg.segmentLength / 8); // hashing the bases
+            }
+            ctx.barrier();
+
+            // Phase 2: link segments that overlap by half a segment.
+            int64_t my_links = 0;
+            for (uint64_t pos : mine) {
+                uint64_t succ = 0;
+                if (table.lookup(ctx, pos + overlap, &succ)) {
+                    ctx.txRun([&] {
+                        ctx.write<uint64_t>(links + 8 * pos, succ);
+                    });
+                    my_links++;
+                }
+                ctx.compute(cfg.segmentLength / 8);
+            }
+            ctx.txRun([&] {
+                const int64_t cur =
+                    ctx.readLabeled<int64_t>(link_count, l_add);
+                ctx.writeLabeled<int64_t>(link_count, l_add,
+                                          cur + my_links);
+            });
+            ctx.barrier();
+
+            // Phase 3: walk one assembled chain (sequential tail).
+            if (t == 0 && !mine.empty()) {
+                uint64_t pos = mine.front();
+                uint32_t steps = 0;
+                while (steps < cfg.genomeLength) {
+                    uint64_t next = 0;
+                    ctx.txRun([&] {
+                        next = ctx.read<uint64_t>(links + 8 * pos);
+                    });
+                    if (next == 0)
+                        break;
+                    pos = next;
+                    steps++;
+                }
+            }
+        });
+    }
+
+    m.run();
+
+    GenomeResult result;
+    result.stats = m.stats();
+    result.uniqueSegments = table.peekSize(m);
+    result.expectedUnique = unique.size();
+    const LineData lcline =
+        m.memSys().debugReducedValue(lineAddr(link_count));
+    int64_t linked;
+    std::memcpy(&linked, lcline.data() + lineOffset(link_count),
+                sizeof(linked));
+    result.linkedSegments = uint64_t(linked);
+    result.expectedLinked = expected_linked;
+    result.tableResizes = table.resizes();
+    return result;
+}
+
+} // namespace commtm

@@ -1,0 +1,161 @@
+#include "apps/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace commtm {
+
+namespace {
+
+/** Host-side union-find for reference computations. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(uint32_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0u);
+    }
+
+    uint32_t
+    find(uint32_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    bool
+    unite(uint32_t a, uint32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        parent_[std::max(a, b)] = std::min(a, b);
+        return true;
+    }
+
+  private:
+    std::vector<uint32_t> parent_;
+};
+
+} // namespace
+
+HostGraph
+roadNetwork(uint32_t num_vertices, uint64_t seed)
+{
+    HostGraph g;
+    g.numVertices = num_vertices;
+    Rng rng(seed);
+
+    const uint32_t side =
+        std::max<uint32_t>(2, uint32_t(std::sqrt(double(num_vertices))));
+    // Jittered grid positions (fixed-point, 16 subunits per cell).
+    std::vector<std::pair<int64_t, int64_t>> pos(num_vertices);
+    for (uint32_t v = 0; v < num_vertices; v++) {
+        const int64_t gx = v % side, gy = v / side;
+        pos[v] = {gx * 16 + int64_t(rng.below(8)),
+                  gy * 16 + int64_t(rng.below(8))};
+    }
+    const auto dist = [&](uint32_t a, uint32_t b) {
+        const int64_t dx = pos[a].first - pos[b].first;
+        const int64_t dy = pos[a].second - pos[b].second;
+        return uint64_t(dx * dx + dy * dy);
+    };
+    const auto addEdge = [&](uint32_t u, uint32_t v) {
+        if (u == v || u >= num_vertices || v >= num_vertices)
+            return;
+        // Weight = distance with the edge id appended for uniqueness.
+        g.edges.push_back(
+            Edge{u, v, (dist(u, v) << 20) | (g.edges.size() & 0xfffff)});
+    };
+
+    // Random spanning tree over a shuffled order: guarantees
+    // connectivity with road-like local structure (attach to a random
+    // earlier vertex that is grid-adjacent when possible).
+    std::vector<uint32_t> order(num_vertices);
+    std::iota(order.begin(), order.end(), 0u);
+    for (uint32_t i = num_vertices - 1; i > 0; i--)
+        std::swap(order[i], order[rng.below(i + 1)]);
+    for (uint32_t i = 1; i < num_vertices; i++)
+        addEdge(order[i], order[rng.below(i)]);
+
+    // Grid-neighbor edges (right and down), probabilistically dropped to
+    // mimic road sparsity; average degree lands around 2.5.
+    for (uint32_t v = 0; v < num_vertices; v++) {
+        const uint32_t gx = v % side;
+        if (gx + 1 < side && v + 1 < num_vertices && rng.chance(0.45))
+            addEdge(v, v + 1);
+        if (v + side < num_vertices && rng.chance(0.45))
+            addEdge(v, v + side);
+    }
+    return g;
+}
+
+HostGraph
+rmat(uint32_t scale, uint32_t edge_factor, uint64_t seed)
+{
+    HostGraph g;
+    g.numVertices = 1u << scale;
+    const uint64_t num_edges = uint64_t(g.numVertices) * edge_factor;
+    Rng rng(seed);
+    g.edges.reserve(num_edges);
+    for (uint64_t e = 0; e < num_edges; e++) {
+        uint32_t u = 0, v = 0;
+        for (uint32_t bit = 0; bit < scale; bit++) {
+            const double r = rng.uniform();
+            // a=0.57, b=0.19, c=0.19, d=0.05
+            if (r < 0.57) {
+                // (0,0)
+            } else if (r < 0.76) {
+                v |= 1u << bit;
+            } else if (r < 0.95) {
+                u |= 1u << bit;
+            } else {
+                u |= 1u << bit;
+                v |= 1u << bit;
+            }
+        }
+        g.edges.push_back(Edge{u, v, rng.next() >> 16});
+    }
+    return g;
+}
+
+uint64_t
+kruskalMstWeight(const HostGraph &graph)
+{
+    std::vector<const Edge *> sorted;
+    sorted.reserve(graph.edges.size());
+    for (const Edge &e : graph.edges)
+        sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Edge *a, const Edge *b) {
+                  return a->weight < b->weight;
+              });
+    UnionFind uf(graph.numVertices);
+    uint64_t weight = 0;
+    for (const Edge *e : sorted) {
+        if (uf.unite(e->u, e->v))
+            weight += e->weight;
+    }
+    return weight;
+}
+
+bool
+isConnected(const HostGraph &graph)
+{
+    UnionFind uf(graph.numVertices);
+    for (const Edge &e : graph.edges)
+        uf.unite(e.u, e.v);
+    for (uint32_t v = 1; v < graph.numVertices; v++) {
+        if (uf.find(v) != uf.find(0))
+            return false;
+    }
+    return true;
+}
+
+} // namespace commtm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Host-side graph generators and references for the graph applications.
+ *
+ * The paper's boruvka runs on `usroads` (UFL sparse matrix collection),
+ * which is not redistributable here; roadNetwork() generates a synthetic
+ * graph with the same character: near-planar (random geometric
+ * neighbors on a 2-D grid), low average degree, guaranteed connected,
+ * unique edge weights. ssca2 uses an R-MAT-style scale-free generator,
+ * matching the SSCA2 specification's input.
+ */
+
+#ifndef COMMTM_APPS_GRAPH_H
+#define COMMTM_APPS_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace commtm {
+
+struct Edge {
+    uint32_t u;
+    uint32_t v;
+    uint64_t weight; //!< unique across edges (ties broken by edge id)
+};
+
+struct HostGraph {
+    uint32_t numVertices = 0;
+    std::vector<Edge> edges;
+};
+
+/**
+ * Road-network-like graph: vertices on a jittered sqrt(n) x sqrt(n)
+ * grid, edges to a few nearest grid neighbors plus a random spanning
+ * tree for connectivity. Weights are Euclidean-ish distances made
+ * unique by appending the edge id.
+ */
+HostGraph roadNetwork(uint32_t num_vertices, uint64_t seed);
+
+/**
+ * R-MAT scale-free edge list (a=0.57 b=c=0.19 d=0.05, SSCA2-style).
+ * May contain self-loops and duplicates, as the SSCA2 spec allows.
+ */
+HostGraph rmat(uint32_t scale, uint32_t edge_factor, uint64_t seed);
+
+/** Reference MST weight via Kruskal (host-side validation). */
+uint64_t kruskalMstWeight(const HostGraph &graph);
+
+/** True iff the graph is connected (host-side validation). */
+bool isConnected(const HostGraph &graph);
+
+} // namespace commtm
+
+#endif // COMMTM_APPS_GRAPH_H

@@ -1,0 +1,199 @@
+#include "apps/kmeans.h"
+
+#include <cmath>
+#include <vector>
+
+#include "rt/machine.h"
+#include "sim/rng.h"
+
+namespace commtm {
+
+KmeansResult
+runKmeans(const MachineConfig &machine_cfg, uint32_t threads,
+          const KmeansConfig &cfg)
+{
+    const uint32_t n = cfg.numPoints, d = cfg.dims, k = cfg.clusters;
+    const Addr row_bytes =
+        ((4 * Addr(d) + kLineSize - 1) / kLineSize) *
+        kLineSize; // line-padded accumulator row
+
+    Machine m(machine_cfg);
+    const Label fp_add =
+        m.labels().define(labels::makeAdd<float>("FP_ADD"));
+    const Label i_add =
+        m.labels().define(labels::makeAdd<int32_t>("ADD32"));
+    const Label c_add =
+        m.labels().define(labels::makeAdd<int64_t>("ADD64"));
+
+    // Layout: points (read-only), centroids (rewritten per iteration),
+    // new-center accumulators + populations (commutative), membership.
+    const Addr points = m.allocator().alloc(4 * Addr(n) * d, kLineSize);
+    const Addr centroids =
+        m.allocator().alloc(4 * Addr(k) * d, kLineSize);
+    const Addr accum = m.allocator().alloc(row_bytes * k, kLineSize);
+    const Addr pops = m.allocator().alloc(4 * Addr(k), kLineSize);
+    const Addr membership = m.allocator().alloc(4 * Addr(n), kLineSize);
+    const Addr changes = m.allocator().alloc(8 * cfg.maxIters, kLineSize);
+    const Addr cont_flag = m.allocator().allocLines(1);
+
+    // Host-side input generation and initialization.
+    Rng rng(cfg.seed);
+    std::vector<float> host_points(size_t(n) * d);
+    for (auto &x : host_points)
+        x = float(rng.uniform() * 100.0);
+    for (uint32_t p = 0; p < n; p++) {
+        for (uint32_t j = 0; j < d; j++) {
+            m.memory().write<float>(points + 4 * (Addr(p) * d + j),
+                                    host_points[size_t(p) * d + j]);
+        }
+    }
+    for (uint32_t c = 0; c < k; c++) {
+        for (uint32_t j = 0; j < d; j++) {
+            // Initial centroids: the first k points (STAMP convention).
+            m.memory().write<float>(centroids + 4 * (Addr(c) * d + j),
+                                    host_points[size_t(c) * d + j]);
+        }
+    }
+    for (uint32_t p = 0; p < n; p++)
+        m.memory().write<int32_t>(membership + 4 * Addr(p), -1);
+    m.memory().write<int64_t>(cont_flag, 1);
+
+    uint32_t iters_done = 0;
+
+    for (uint32_t t = 0; t < threads; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            const uint32_t lo = uint32_t(uint64_t(n) * t / threads);
+            const uint32_t hi = uint32_t(uint64_t(n) * (t + 1) / threads);
+            std::vector<float> cent(size_t(k) * d);
+            std::vector<float> point(d);
+
+            for (uint32_t iter = 0; iter < cfg.maxIters; iter++) {
+                // Read the centroids once per iteration (shared,
+                // read-only during the assignment phase).
+                ctx.readBytes(centroids, cent.data(),
+                              4 * size_t(k) * d);
+                int64_t my_changes = 0;
+
+                for (uint32_t p = lo; p < hi; p++) {
+                    ctx.readBytes(points + 4 * (Addr(p) * d),
+                                  point.data(), 4 * size_t(d));
+                    // Nearest centroid (charged as computation).
+                    uint32_t best = 0;
+                    float best_dist =
+                        std::numeric_limits<float>::max();
+                    for (uint32_t c = 0; c < k; c++) {
+                        float dist = 0;
+                        for (uint32_t j = 0; j < d; j++) {
+                            const float diff =
+                                point[j] - cent[size_t(c) * d + j];
+                            dist += diff * diff;
+                        }
+                        if (dist < best_dist) {
+                            best_dist = dist;
+                            best = c;
+                        }
+                    }
+                    ctx.compute(3ull * k * d);
+
+                    const int32_t prev =
+                        ctx.read<int32_t>(membership + 4 * Addr(p));
+                    if (prev != int32_t(best)) {
+                        my_changes++;
+                        ctx.write<int32_t>(membership + 4 * Addr(p),
+                                           int32_t(best));
+                    }
+
+                    // The commutative transaction: accumulate the point
+                    // into its cluster's new center (32b FP ADD) and
+                    // population (32b ADD).
+                    ctx.txRun([&] {
+                        const Addr row = accum + row_bytes * best;
+                        for (uint32_t j = 0; j < d; j++) {
+                            const float cur = ctx.readLabeled<float>(
+                                row + 4 * j, fp_add);
+                            ctx.writeLabeled<float>(row + 4 * j, fp_add,
+                                                    cur + point[j]);
+                        }
+                        const int32_t pop = ctx.readLabeled<int32_t>(
+                            pops + 4 * Addr(best), i_add);
+                        ctx.writeLabeled<int32_t>(pops + 4 * Addr(best),
+                                                  i_add, pop + 1);
+                    });
+                }
+                // Publish this thread's membership-change count.
+                ctx.txRun([&] {
+                    const Addr cell = changes + 8 * Addr(iter);
+                    const int64_t cur =
+                        ctx.readLabeled<int64_t>(cell, c_add);
+                    ctx.writeLabeled<int64_t>(cell, c_add,
+                                              cur + my_changes);
+                });
+                ctx.barrier();
+
+                if (t == 0) {
+                    // Recompute centroids from the accumulators; the
+                    // conventional reads trigger the reductions.
+                    int64_t total_changes = 0;
+                    ctx.txRun([&] {
+                        total_changes =
+                            ctx.read<int64_t>(changes + 8 * Addr(iter));
+                    });
+                    iters_done = iter + 1;
+                    const bool go =
+                        double(total_changes) / double(n) > cfg.threshold &&
+                        iter + 1 < cfg.maxIters;
+                    for (uint32_t c = 0; c < k; c++) {
+                        int32_t pop = 0;
+                        ctx.txRun([&] {
+                            pop = ctx.read<int32_t>(pops + 4 * Addr(c));
+                        });
+                        const Addr row = accum + row_bytes * c;
+                        for (uint32_t j = 0; j < d; j++) {
+                            float sum = 0;
+                            ctx.txRun([&] {
+                                sum = ctx.read<float>(row + 4 * j);
+                            });
+                            if (pop > 0) {
+                                ctx.write<float>(
+                                    centroids + 4 * (Addr(c) * d + j),
+                                    sum / float(pop));
+                            }
+                            ctx.write<float>(row + 4 * j, 0.0f);
+                        }
+                        // Keep the final iteration's populations for
+                        // validation; reset them only when iterating.
+                        if (go)
+                            ctx.write<int32_t>(pops + 4 * Addr(c), 0);
+                    }
+                    ctx.write<int64_t>(cont_flag, go ? 1 : 0);
+                }
+                ctx.barrier();
+                int64_t cont = 0;
+                ctx.txRun(
+                    [&] { cont = ctx.read<int64_t>(cont_flag); });
+                if (cont == 0)
+                    break;
+            }
+        });
+    }
+
+    m.run();
+
+    KmeansResult result;
+    result.stats = m.stats();
+    result.iterations = iters_done;
+    // Populations of the last completed iteration: if the loop ended
+    // early the pops cells still hold the final iteration's counts;
+    // read the committed values host-side.
+    result.populations.resize(k);
+    for (uint32_t c = 0; c < k; c++) {
+        const Addr cell = pops + 4 * Addr(c);
+        const LineData line =
+            m.memSys().debugReducedValue(lineAddr(cell));
+        std::memcpy(&result.populations[c],
+                    line.data() + lineOffset(cell), sizeof(int32_t));
+    }
+    return result;
+}
+
+} // namespace commtm

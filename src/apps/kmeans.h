@@ -1,0 +1,50 @@
+/**
+ * @file
+ * kmeans: transactional k-means clustering (STAMP-style port). Each
+ * point-assignment transaction commutatively adds the point's features
+ * into the new-center accumulators (32b FP ADD) and bumps the cluster
+ * population (32b ADD) — the paper's prime example of update-heavy
+ * commutative transactions (Table II; 3.4x at 128 threads).
+ */
+
+#ifndef COMMTM_APPS_KMEANS_H
+#define COMMTM_APPS_KMEANS_H
+
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace commtm {
+
+struct KmeansConfig {
+    uint32_t numPoints = 4096;
+    uint32_t dims = 24;     //!< paper input: random-n16384-d24-c16
+    uint32_t clusters = 15; //!< -m15 -n15
+    double threshold = 0.05;
+    uint32_t maxIters = 8;
+    uint64_t seed = 7;
+};
+
+struct KmeansResult {
+    StatsSnapshot stats;
+    uint32_t iterations = 0;
+    /** Final per-cluster populations (must sum to numPoints). */
+    std::vector<int32_t> populations;
+
+    bool
+    valid(uint32_t num_points) const
+    {
+        int64_t total = 0;
+        for (int32_t p : populations)
+            total += p;
+        return total == int64_t(num_points);
+    }
+};
+
+KmeansResult runKmeans(const MachineConfig &machine_cfg, uint32_t threads,
+                       const KmeansConfig &cfg);
+
+} // namespace commtm
+
+#endif // COMMTM_APPS_KMEANS_H

@@ -1,0 +1,221 @@
+#include "apps/micro.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "lib/bounded_counter.h"
+#include "lib/counter.h"
+#include "lib/linked_list.h"
+#include "lib/ordered_put.h"
+#include "lib/topk.h"
+#include "rt/machine.h"
+
+namespace commtm {
+
+MicroResult
+runCounterMicro(const MachineConfig &cfg, uint32_t threads,
+                uint64_t total_ops)
+{
+    Machine m(cfg);
+    const Label add = CommCounter::defineLabel(m);
+    CommCounter counter(m, add);
+    for (uint32_t t = 0; t < threads; t++) {
+        const uint64_t ops = total_ops / threads +
+                             (t < total_ops % threads ? 1 : 0);
+        m.addThread([&counter, ops](ThreadContext &ctx) {
+            for (uint64_t i = 0; i < ops; i++)
+                counter.add(ctx, 1);
+        });
+    }
+    m.run();
+    MicroResult r;
+    r.stats = m.stats();
+    r.observed = counter.peek(m);
+    r.expected = int64_t(total_ops);
+    r.valid = r.observed == r.expected;
+    return r;
+}
+
+MicroResult
+runRefcountMicro(const MachineConfig &cfg, uint32_t threads,
+                 uint64_t total_ops, uint32_t objects)
+{
+    constexpr int kInitialRefs = 3;
+    constexpr int kMaxRefs = 10;
+
+    Machine m(cfg);
+    const Label bounded = BoundedCounter::defineLabel(m);
+    std::vector<std::unique_ptr<BoundedCounter>> counters;
+    for (uint32_t o = 0; o < objects; o++) {
+        counters.push_back(std::make_unique<BoundedCounter>(
+            m, bounded, int64_t(kInitialRefs) * threads));
+    }
+    // Final held counts per thread, tallied host-side for validation.
+    std::vector<int64_t> held_total(threads, 0);
+
+    for (uint32_t t = 0; t < threads; t++) {
+        const uint64_t ops = total_ops / threads +
+                             (t < total_ops % threads ? 1 : 0);
+        m.addThread([&, t, ops](ThreadContext &ctx) {
+            std::vector<int> held(objects, kInitialRefs);
+            Rng &rng = ctx.rng();
+            for (uint64_t i = 0; i < ops; i++) {
+                const uint32_t o = uint32_t(rng.below(objects));
+                // P(acquire) falls linearly from 1.0 at 0 refs held to
+                // 0.0 at kMaxRefs (Sec. VI).
+                const double p_acquire =
+                    1.0 - double(held[o]) / double(kMaxRefs);
+                if (rng.chance(p_acquire)) {
+                    counters[o]->increment(ctx);
+                    held[o]++;
+                } else {
+                    // held[o] > 0 here, so the global count is positive
+                    // and the decrement must succeed.
+                    const bool ok = counters[o]->decrement(ctx);
+                    assert(ok);
+                    (void)ok;
+                    held[o]--;
+                }
+                ctx.compute(8);
+            }
+            for (uint32_t o = 0; o < objects; o++)
+                held_total[t] += held[o];
+        });
+    }
+    m.run();
+
+    MicroResult r;
+    r.stats = m.stats();
+    for (uint32_t o = 0; o < objects; o++)
+        r.observed += counters[o]->peek(m);
+    for (uint32_t t = 0; t < threads; t++)
+        r.expected += held_total[t];
+    r.valid = r.observed == r.expected;
+    return r;
+}
+
+MicroResult
+runListMicro(const MachineConfig &cfg, uint32_t threads,
+             uint64_t total_ops, uint32_t enqueue_pct,
+             uint32_t prefill_per_thread)
+{
+    Machine m(cfg);
+    const Label list_label = CommList::defineLabel(m);
+    CommList list(m, list_label,
+                  cfg.mode == SystemMode::BaselineHtm);
+    std::vector<int64_t> net(threads, 0); // enqueues minus dequeues
+
+    for (uint32_t t = 0; t < threads; t++) {
+        const uint64_t ops = total_ops / threads +
+                             (t < total_ops % threads ? 1 : 0);
+        m.addThread([&, t, ops](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (uint32_t i = 0; i < prefill_per_thread; i++) {
+                list.enqueue(ctx, (uint64_t(t) << 32) | (1u << 30) | i);
+                net[t]++;
+            }
+            for (uint64_t i = 0; i < ops; i++) {
+                if (rng.below(100) < enqueue_pct) {
+                    list.enqueue(ctx, (uint64_t(t) << 32) | i);
+                    net[t]++;
+                } else {
+                    uint64_t value;
+                    if (list.dequeue(ctx, &value))
+                        net[t]--;
+                }
+                ctx.compute(8);
+            }
+        });
+    }
+    m.run();
+
+    MicroResult r;
+    r.stats = m.stats();
+    r.observed = int64_t(list.peekSize(m));
+    for (uint32_t t = 0; t < threads; t++)
+        r.expected += net[t];
+    r.valid = r.observed == r.expected;
+    return r;
+}
+
+MicroResult
+runOputMicro(const MachineConfig &cfg, uint32_t threads,
+             uint64_t total_ops)
+{
+    Machine m(cfg);
+    const Label oput_label = OrderedPut::defineLabel(m);
+    OrderedPut cell(m, oput_label);
+    std::vector<int64_t> local_min(threads, OrderedPut::kEmptyKey);
+
+    for (uint32_t t = 0; t < threads; t++) {
+        const uint64_t ops = total_ops / threads +
+                             (t < total_ops % threads ? 1 : 0);
+        m.addThread([&, t, ops](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (uint64_t i = 0; i < ops; i++) {
+                // Random 64-bit keys (kept positive for int64 compare).
+                const int64_t key = int64_t(rng.next() >> 1);
+                cell.put(ctx, key, uint64_t(key) * 3);
+                local_min[t] = std::min(local_min[t], key);
+                ctx.compute(8);
+            }
+        });
+    }
+    m.run();
+
+    MicroResult r;
+    r.stats = m.stats();
+    const OrderedPut::Pair final = cell.peek(m);
+    r.observed = final.key;
+    r.expected = OrderedPut::kEmptyKey;
+    for (uint32_t t = 0; t < threads; t++)
+        r.expected = std::min(r.expected, local_min[t]);
+    r.valid = r.observed == r.expected &&
+              (final.key == OrderedPut::kEmptyKey ||
+               final.value == uint64_t(final.key) * 3);
+    return r;
+}
+
+MicroResult
+runTopkMicro(const MachineConfig &cfg, uint32_t threads,
+             uint64_t total_ops, uint32_t k)
+{
+    Machine m(cfg);
+    const Label topk_label = TopK::defineLabel(m, k);
+    TopK set(m, topk_label, k);
+    std::vector<std::vector<int64_t>> inserted(threads);
+
+    for (uint32_t t = 0; t < threads; t++) {
+        const uint64_t ops = total_ops / threads +
+                             (t < total_ops % threads ? 1 : 0);
+        m.addThread([&, t, ops](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (uint64_t i = 0; i < ops; i++) {
+                const int64_t key = int64_t(rng.next() >> 1);
+                set.insert(ctx, key);
+                inserted[t].push_back(key);
+                ctx.compute(8);
+            }
+        });
+    }
+    m.run();
+
+    MicroResult r;
+    r.stats = m.stats();
+    // Host reference: the K largest of everything inserted.
+    std::vector<int64_t> all;
+    for (auto &v : inserted)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end(), std::greater<int64_t>());
+    if (all.size() > k)
+        all.resize(k);
+    std::vector<int64_t> got = set.peekAll(m);
+    std::sort(got.begin(), got.end(), std::greater<int64_t>());
+    r.observed = int64_t(got.size());
+    r.expected = int64_t(all.size());
+    r.valid = got == all;
+    return r;
+}
+
+} // namespace commtm

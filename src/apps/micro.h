@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The paper's microbenchmarks (Sec. VI): counter increments (Fig. 9),
+ * reference counting on bounded counters (Fig. 10), linked-list
+ * enqueues/dequeues (Fig. 12), ordered puts (Fig. 13), and top-K
+ * insertions (Fig. 14). Each returns statistics plus host-validated
+ * functional results.
+ */
+
+#ifndef COMMTM_APPS_MICRO_H
+#define COMMTM_APPS_MICRO_H
+
+#include <cstdint>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace commtm {
+
+struct MicroResult {
+    StatsSnapshot stats;
+    bool valid = false;
+    /** What "valid" checked, for diagnostics. */
+    int64_t observed = 0;
+    int64_t expected = 0;
+
+    Cycle cycles() const { return stats.runtimeCycles(); }
+};
+
+/** Fig. 9: @p total_ops increments of one shared counter. */
+MicroResult runCounterMicro(const MachineConfig &cfg, uint32_t threads,
+                            uint64_t total_ops);
+
+/**
+ * Fig. 10: reference counting. Threads acquire/release @p total_ops
+ * references over @p objects bounded counters; each thread starts with
+ * three references per object and holds at most ten; the probability of
+ * acquiring decreases linearly with references held (Sec. VI).
+ */
+MicroResult runRefcountMicro(const MachineConfig &cfg, uint32_t threads,
+                             uint64_t total_ops, uint32_t objects = 16);
+
+/**
+ * Fig. 12: linked list. @p enqueue_pct = 100 reproduces Fig. 12a;
+ * 50 reproduces Fig. 12b (randomly interleaved enqueues/dequeues).
+ * The baseline layout splits head/tail across lines automatically.
+ *
+ * @p prefill_per_thread elements are enqueued by each thread up front.
+ * The paper's 10M-op mixed run builds a standing buffer (failed
+ * dequeues tilt the enq/deq balance, so the list length random-walks
+ * upward); scaled-down runs must seed that buffer explicitly or the
+ * cold-start gather burst dominates (see EXPERIMENTS.md).
+ */
+MicroResult runListMicro(const MachineConfig &cfg, uint32_t threads,
+                         uint64_t total_ops, uint32_t enqueue_pct,
+                         uint32_t prefill_per_thread = 0);
+
+/** Fig. 13: ordered puts with random 64-bit keys and values. */
+MicroResult runOputMicro(const MachineConfig &cfg, uint32_t threads,
+                         uint64_t total_ops);
+
+/** Fig. 14: top-K insertion of random keys (paper: K = 1000). */
+MicroResult runTopkMicro(const MachineConfig &cfg, uint32_t threads,
+                         uint64_t total_ops, uint32_t k = 1000);
+
+} // namespace commtm
+
+#endif // COMMTM_APPS_MICRO_H

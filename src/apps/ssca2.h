@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ssca2: kernel 1 (graph construction) of the SSCA2 benchmark
+ * (STAMP-style port). Transactions are tiny — append one directed edge
+ * to a vertex's adjacency chunk — and touch shared, global graph
+ * metadata (32b ADD) only rarely, so commutativity barely matters:
+ * the paper reports a 0.2% gain (Fig. 16c), and this port preserves
+ * that profile.
+ */
+
+#ifndef COMMTM_APPS_SSCA2_H
+#define COMMTM_APPS_SSCA2_H
+
+#include "apps/graph.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace commtm {
+
+struct Ssca2Config {
+    uint32_t scale = 11;      //!< 2^scale vertices (paper: -s16, scaled)
+    uint32_t edgeFactor = 8;  //!< edges per vertex
+    uint64_t seed = 17;
+    /** Update global metadata every this many edges (rare, as in the
+     *  original: ssca2's labeled-instruction fraction is ~6e-7). */
+    uint32_t metadataPeriod = 1024;
+};
+
+struct Ssca2Result {
+    StatsSnapshot stats;
+    uint64_t edgesInserted = 0;
+    uint64_t degreeSum = 0;     //!< sum of constructed degrees
+    int64_t metadataCount = 0;  //!< global counter (commutative ADD)
+
+    bool
+    valid() const
+    {
+        return degreeSum == edgesInserted;
+    }
+};
+
+Ssca2Result runSsca2(const MachineConfig &machine_cfg, uint32_t threads,
+                     const Ssca2Config &cfg);
+
+} // namespace commtm
+
+#endif // COMMTM_APPS_SSCA2_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * vacation: travel-reservation database (STAMP-style port). Tables of
+ * cars, rooms, and flights plus a customer table, all resizable hash
+ * maps with bounded remaining-space counters (Table II). User
+ * transactions query several items and reserve the cheapest; admin
+ * transactions add/remove rows and customers, driving table inserts.
+ */
+
+#ifndef COMMTM_APPS_VACATION_H
+#define COMMTM_APPS_VACATION_H
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace commtm {
+
+struct VacationConfig {
+    uint32_t relations = 4096; //!< rows per table (paper: -r32768)
+    uint32_t numTasks = 8192;  //!< client transactions (-t8192)
+    uint32_t queriesPerTask = 4; //!< -n4
+    uint32_t queryRangePct = 60; //!< -q60: % of rows queried
+    uint32_t userPct = 90;       //!< -u90: % user (reserve) tasks
+    uint64_t seed = 31;
+};
+
+struct VacationResult {
+    StatsSnapshot stats;
+    int64_t reservationsMade = 0;
+    int64_t unitsSold = 0;       //!< total "free" decrements
+    int64_t initialFree = 0;
+    int64_t finalFree = 0;
+    uint64_t customerCount = 0;
+
+    /** Conservation: units sold == free units consumed. */
+    bool
+    valid() const
+    {
+        return finalFree + unitsSold == initialFree &&
+               reservationsMade == unitsSold;
+    }
+};
+
+VacationResult runVacation(const MachineConfig &machine_cfg,
+                           uint32_t threads, const VacationConfig &cfg);
+
+} // namespace commtm
+
+#endif // COMMTM_APPS_VACATION_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Execution context for user-defined reduction handlers and splitters
+ * (Secs. III-B4 and IV).
+ *
+ * Handlers run on the shadow hardware thread of the core that triggered
+ * the reduction. They are NOT transactional: they operate on
+ * non-speculative data only and have no atomicity guarantees. They may
+ * access arbitrary memory with read-only or exclusive permissions, but
+ * must not touch lines in the reducible (U) state — that would trigger a
+ * nested reduction, which the deadlock-avoidance rules forbid.
+ */
+
+#ifndef COMMTM_COMMTM_HANDLERS_H
+#define COMMTM_COMMTM_HANDLERS_H
+
+#include <cstddef>
+#include <type_traits>
+
+#include "sim/types.h"
+
+namespace commtm {
+
+/**
+ * Memory/compute interface handed to reduction handlers and splitters.
+ * Implemented by the memory system; every access is charged to the
+ * latency of the reduction-triggering request.
+ */
+class HandlerContext
+{
+  public:
+    virtual ~HandlerContext() = default;
+
+    /** Non-speculative read of @p size bytes at @p addr. */
+    virtual void rawRead(Addr addr, void *out, size_t size) = 0;
+    /** Non-speculative write of @p size bytes at @p addr. */
+    virtual void rawWrite(Addr addr, const void *src, size_t size) = 0;
+    /** Charge @p instrs cycles of handler computation. */
+    virtual void compute(uint64_t instrs) = 0;
+
+    template <typename T>
+    T
+    read(Addr addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        rawRead(addr, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    write(Addr addr, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        rawWrite(addr, &value, sizeof(T));
+    }
+};
+
+} // namespace commtm
+
+#endif // COMMTM_COMMTM_HANDLERS_H

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Transaction-abort signalling. Aborts unwind the transaction body via a
+ * C++ exception thrown inside the simulated thread's fiber; the runtime
+ * catches it at the transaction boundary, backs off, and retries.
+ */
+
+#ifndef COMMTM_HTM_ABORT_H
+#define COMMTM_HTM_ABORT_H
+
+#include "sim/stats.h"
+
+namespace commtm {
+
+/** Thrown inside a simulated thread when its transaction must abort. */
+struct AbortException {
+    AbortCause cause;
+    /** Retry with labeled operations demoted to conventional ones
+     *  (Sec. III-B4's unlabeled-access-to-labeled-data rule). */
+    bool demoteLabeled = false;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_HTM_ABORT_H

@@ -1,0 +1,215 @@
+#include "htm/htm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace commtm {
+
+HtmManager::HtmManager(const MachineConfig &cfg, MemorySystem &mem,
+                       SimMemory &memory)
+    : cfg_(cfg), mem_(mem), memory_(memory), txs_(cfg.numCores)
+{
+    mem_.setHtm(this);
+}
+
+void
+HtmManager::beginAttempt(CoreId core)
+{
+    Tx &tx = txs_[core];
+    assert(!tx.active && "nested tx_begin must use the runtime's flat "
+                         "nesting support");
+    tx.active = true;
+    tx.doomed = false;
+    if (!tx.tsAssigned) {
+        // Timestamps order whole transactions, not attempts: an aborted
+        // transaction keeps its timestamp so it ages and eventually wins.
+        tx.ts = nextTs_++;
+        tx.tsAssigned = true;
+    }
+}
+
+void
+HtmManager::releaseSpecSets(Tx &tx, CoreId core)
+{
+    for (Addr line : tx.specLines)
+        mem_.clearSpec(core, line);
+    tx.specLines.clear();
+    tx.readSet.clear();
+    tx.writeSet.clear();
+    tx.labeledSet.clear();
+}
+
+void
+HtmManager::lazyArbitrate(CoreId committer)
+{
+    // Commit-time conflict detection (TCC/Bulk-style, Sec. III-D): the
+    // committer wins against every concurrent transaction that read or
+    // wrote a line it is about to publish. Labeled (commutative) users
+    // of the same data do not conflict with each other; they only lose
+    // to conventional writes.
+    Tx &me = txs_[committer];
+    for (CoreId other = 0; other < CoreId(txs_.size()); other++) {
+        if (other == committer)
+            continue;
+        Tx &o = txs_[other];
+        if (!o.active || o.doomed)
+            continue;
+        AbortCause cause = AbortCause::WriteAfterRead;
+        bool conflict = false;
+        for (Addr line : me.writeSet) {
+            if (o.writeSet.count(line)) {
+                conflict = true;
+                cause = AbortCause::WriteAfterWrite;
+                break;
+            }
+            if (o.readSet.count(line)) {
+                conflict = true;
+                cause = AbortCause::WriteAfterRead;
+                break;
+            }
+            if (o.labeledSet.count(line)) {
+                conflict = true;
+                cause = AbortCause::LabeledConflict;
+                break;
+            }
+        }
+        if (conflict)
+            remoteAbort(other, cause);
+    }
+}
+
+Cycle
+HtmManager::commit(CoreId core)
+{
+    Tx &tx = txs_[core];
+    assert(tx.active);
+    if (tx.doomed) {
+        // A conflict doomed us after our last memory access; the commit
+        // point observes it and the transaction unwinds.
+        throw AbortException{tx.doomCause, false};
+    }
+    Cycle publish_latency = 0;
+    if (cfg_.conflictDetection == ConflictDetection::Lazy) {
+        lazyArbitrate(core);
+        // Publish buffered conventional writes: acquire each written
+        // line exclusively with a non-speculative store, which also
+        // invalidates remaining sharers. Labeled lines stay in U.
+        for (Addr line : tx.writeSet) {
+            Access a;
+            a.core = core;
+            a.addr = lineBase(line);
+            a.size = kLineSize;
+            a.op = MemOp::Store;
+            const AccessResult r = mem_.access(a);
+            assert(!r.mustAbort());
+            publish_latency += r.latency;
+        }
+    }
+    // Lazy versioning: make buffered speculative writes visible. Writes
+    // to lines this core holds in U commit into the core's reducible
+    // copy; everything else commits into simulated memory (Fig. 5).
+    tx.wb.forEach([&](Addr line, const std::array<uint8_t, kLineSize> &data,
+                      const std::array<bool, kLineSize> &mask) {
+        if (mem_.coreHasU(core, line)) {
+            LineData &copy = mem_.uCopy(core, line);
+            for (size_t i = 0; i < kLineSize; i++) {
+                if (mask[i])
+                    copy[i] = data[i];
+            }
+        } else {
+            LineData committed = memory_.readLine(line);
+            for (size_t i = 0; i < kLineSize; i++) {
+                if (mask[i])
+                    committed[i] = data[i];
+            }
+            memory_.writeLine(line, committed);
+        }
+    });
+    tx.wb.clear();
+    releaseSpecSets(tx, core);
+    tx.active = false;
+    return publish_latency;
+}
+
+Cycle
+HtmManager::abortAttempt(CoreId core, AbortCause cause, Rng &rng)
+{
+    (void)cause;
+    Tx &tx = txs_[core];
+    assert(tx.active);
+    tx.wb.clear();
+    releaseSpecSets(tx, core);
+    tx.active = false;
+    tx.doomed = false;
+    tx.attempts++;
+    // Randomized exponential backoff avoids livelock pathologies.
+    const uint32_t exp =
+        std::min(tx.attempts, cfg_.backoffMaxExp);
+    const Cycle window = cfg_.backoffBase << exp;
+    return cfg_.abortCost + rng.below(window ? window : 1);
+}
+
+void
+HtmManager::finish(CoreId core)
+{
+    Tx &tx = txs_[core];
+    assert(!tx.active);
+    tx.tsAssigned = false;
+    tx.attempts = 0;
+    tx.demoteLabeled = false;
+}
+
+bool
+HtmManager::inTx(CoreId c) const
+{
+    return txs_[c].active && !txs_[c].doomed;
+}
+
+Timestamp
+HtmManager::txTs(CoreId c) const
+{
+    assert(txs_[c].active);
+    return txs_[c].ts;
+}
+
+bool
+HtmManager::specModified(CoreId c, Addr line) const
+{
+    return txs_[c].active && txs_[c].wb.touches(line);
+}
+
+void
+HtmManager::remoteAbort(CoreId victim, AbortCause cause)
+{
+    Tx &tx = txs_[victim];
+    if (!tx.active || tx.doomed)
+        return;
+    tx.doomed = true;
+    tx.doomCause = cause;
+    // Release the speculative sets immediately so the winning request
+    // (and subsequent ones) proceed without re-conflicting; the victim
+    // discards its buffered writes and unwinds when next scheduled.
+    tx.wb.clear();
+    releaseSpecSets(tx, victim);
+}
+
+void
+HtmManager::noteSpecLine(CoreId c, Addr line, SpecKind kind)
+{
+    Tx &tx = txs_[c];
+    assert(tx.active);
+    tx.specLines.push_back(line);
+    switch (kind) {
+      case SpecKind::Read:
+        tx.readSet.insert(line);
+        break;
+      case SpecKind::Write:
+        tx.writeSet.insert(line);
+        break;
+      case SpecKind::Labeled:
+        tx.labeledSet.insert(line);
+        break;
+    }
+}
+
+} // namespace commtm

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The eager-lazy HTM: eager conflict detection through the coherence
+ * protocol, lazy (buffer-based) version management, timestamp-based
+ * conflict resolution with NACKs, and randomized backoff (Sec. III-B).
+ */
+
+#ifndef COMMTM_HTM_HTM_H
+#define COMMTM_HTM_HTM_H
+
+#include <unordered_set>
+#include <vector>
+
+#include "htm/abort.h"
+#include "htm/write_buffer.h"
+#include "mem/coherence.h"
+#include "sim/config.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace commtm {
+
+/**
+ * Per-machine transaction manager. One transaction context per core
+ * (the paper's HTM is single-transaction-per-hardware-thread).
+ */
+class HtmManager : public HtmHooks
+{
+  public:
+    HtmManager(const MachineConfig &cfg, MemorySystem &mem,
+               SimMemory &memory);
+
+    // --- transaction lifecycle (called by the runtime) ---
+
+    /**
+     * Start an attempt of a transaction. The timestamp is assigned on
+     * the first attempt and kept across retries so older transactions
+     * eventually win (livelock freedom, Sec. III-B1).
+     */
+    void beginAttempt(CoreId core);
+
+    /**
+     * Try to commit: applies the write buffer (U-held lines commit into
+     * the core's U copy, everything else into SimMemory) and clears the
+     * speculative sets. Throws AbortException if the transaction was
+     * doomed by a remote conflict.
+     *
+     * Under lazy conflict detection this is also the arbitration point
+     * (Sec. III-D): the committer aborts every concurrent transaction
+     * whose read/write/labeled set intersects its write set, and its
+     * buffered writes are made public with non-speculative stores.
+     * @return extra commit latency (lazy write publication); 0 in
+     *         eager mode, where the writes already own their lines.
+     */
+    Cycle commit(CoreId core);
+
+    /**
+     * Locally abort the current attempt: discard the write buffer,
+     * release the speculative sets. Returns the backoff delay (cycles)
+     * the core must stall before retrying.
+     */
+    Cycle abortAttempt(CoreId core, AbortCause cause, Rng &rng);
+
+    /** Finish a txRun (after commit): resets per-transaction state. */
+    void finish(CoreId core);
+
+    /** The core is inside an active transaction attempt. */
+    bool active(CoreId core) const { return txs_[core].active; }
+
+    /** The transaction was doomed by a remote abort; must unwind. */
+    bool doomed(CoreId core) const { return txs_[core].doomed; }
+    AbortCause doomCause(CoreId core) const { return txs_[core].doomCause; }
+
+    /** Labeled ops demoted to plain ops for this (re-)execution. */
+    bool demoted(CoreId core) const { return txs_[core].demoteLabeled; }
+    void setDemoted(CoreId core) { txs_[core].demoteLabeled = true; }
+
+    uint32_t attempts(CoreId core) const { return txs_[core].attempts; }
+
+    WriteBuffer &writeBuffer(CoreId core) { return txs_[core].wb; }
+
+    // --- HtmHooks (called by the coherence protocol) ---
+    bool inTx(CoreId c) const override;
+    Timestamp txTs(CoreId c) const override;
+    bool specModified(CoreId c, Addr line) const override;
+    void remoteAbort(CoreId victim, AbortCause cause) override;
+    void noteSpecLine(CoreId c, Addr line, SpecKind kind) override;
+
+  private:
+    struct Tx {
+        bool active = false;
+        bool doomed = false;
+        AbortCause doomCause = AbortCause::Explicit;
+        bool tsAssigned = false;
+        Timestamp ts = 0;
+        uint32_t attempts = 0;
+        bool demoteLabeled = false;
+        /** Lines with speculative L1 bits, for O(set) release. */
+        std::vector<Addr> specLines;
+        /** Signature-style sets, used for lazy commit-time arbitration
+         *  (cache residency is not required for tracking). */
+        std::unordered_set<Addr> readSet;
+        std::unordered_set<Addr> writeSet;
+        std::unordered_set<Addr> labeledSet;
+        WriteBuffer wb;
+    };
+
+    /** Lazy mode: abort every concurrent transaction conflicting with
+     *  the committer's write set. */
+    void lazyArbitrate(CoreId committer);
+
+    /** Clear all L1 speculative bits of @p core's transaction. */
+    void releaseSpecSets(Tx &tx, CoreId core);
+
+    const MachineConfig &cfg_;
+    MemorySystem &mem_;
+    SimMemory &memory_;
+    std::vector<Tx> txs_;
+    Timestamp nextTs_ = 1;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_HTM_HTM_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lazy version management: speculative writes are buffered per
+ * transaction and only become visible at commit (LTM/TSX-style,
+ * Sec. III-B1). The buffer is a byte-masked overlay keyed by cache line.
+ */
+
+#ifndef COMMTM_HTM_WRITE_BUFFER_H
+#define COMMTM_HTM_WRITE_BUFFER_H
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/memory.h"
+#include "sim/types.h"
+
+namespace commtm {
+
+/** Byte-granular speculative write overlay for one transaction. */
+class WriteBuffer
+{
+  public:
+    /** Buffer @p size bytes of @p src at @p addr (within one line). */
+    void
+    write(Addr addr, const void *src, size_t size)
+    {
+        Entry &e = lines_[lineAddr(addr)];
+        const uint32_t off = lineOffset(addr);
+        std::memcpy(e.data.data() + off, src, size);
+        for (size_t i = 0; i < size; i++)
+            e.mask[off + i] = true;
+    }
+
+    /**
+     * Overlay buffered bytes onto @p out (the committed value of
+     * [addr, addr+size)), giving the transaction's view.
+     */
+    void
+    overlay(Addr addr, void *out, size_t size) const
+    {
+        auto it = lines_.find(lineAddr(addr));
+        if (it == lines_.end())
+            return;
+        const Entry &e = it->second;
+        const uint32_t off = lineOffset(addr);
+        auto *dst = static_cast<uint8_t *>(out);
+        for (size_t i = 0; i < size; i++) {
+            if (e.mask[off + i])
+                dst[i] = e.data[off + i];
+        }
+    }
+
+    /** True iff the transaction buffered any write to @p line. */
+    bool
+    touches(Addr line) const
+    {
+        return lines_.count(line) != 0;
+    }
+
+    bool empty() const { return lines_.empty(); }
+    size_t numLines() const { return lines_.size(); }
+
+    /**
+     * Commit: hand every buffered line to @p apply, which merges the
+     * masked bytes into the committed location (SimMemory or a U copy).
+     */
+    void
+    forEach(const std::function<void(Addr line,
+                                     const std::array<uint8_t, kLineSize> &,
+                                     const std::array<bool, kLineSize> &)>
+                &apply) const
+    {
+        for (const auto &[line, e] : lines_)
+            apply(line, e.data, e.mask);
+    }
+
+    /** Abort: discard everything. */
+    void clear() { lines_.clear(); }
+
+  private:
+    struct Entry {
+        std::array<uint8_t, kLineSize> data{};
+        std::array<bool, kLineSize> mask{};
+    };
+
+    std::unordered_map<Addr, Entry> lines_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_HTM_WRITE_BUFFER_H

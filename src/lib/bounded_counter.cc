@@ -1,0 +1,78 @@
+#include "lib/bounded_counter.h"
+
+namespace commtm {
+
+Label
+BoundedCounter::defineLabel(Machine &machine)
+{
+    // The splitter donates ceil(value / numSharers) of each element,
+    // keeping the distribution balanced over time (Sec. IV).
+    return machine.labels().define(
+        labels::makeAdd<int64_t>("BOUNDED_ADD"));
+}
+
+BoundedCounter::BoundedCounter(Machine &machine, Label label,
+                               int64_t initial)
+    : machine_(machine),
+      addr_(machine.allocator().alloc(sizeof(int64_t), sizeof(int64_t))),
+      label_(label)
+{
+    machine.memory().write<int64_t>(addr_, initial);
+}
+
+void
+BoundedCounter::increment(ThreadContext &ctx, int64_t delta)
+{
+    ctx.txRun([&] {
+        const int64_t local = ctx.readLabeled<int64_t>(addr_, label_);
+        ctx.writeLabeled<int64_t>(addr_, label_, local + delta);
+    });
+}
+
+bool
+BoundedCounter::decrement(ThreadContext &ctx)
+{
+    bool ok = false;
+    ctx.txRun([&] {
+        // If the local delta is positive, the global value must be:
+        // decrement locally and commutatively.
+        int64_t value = ctx.readLabeled<int64_t>(addr_, label_);
+        if (value == 0) {
+            // Rebalance partial values from other caches (gather); in
+            // the no-gather configuration this executes as a plain load
+            // and triggers a full reduction.
+            value = ctx.readGather<int64_t>(addr_, label_);
+            if (value == 0) {
+                // Check the true global value with a conventional load.
+                value = ctx.read<int64_t>(addr_);
+                if (value == 0) {
+                    ok = false;
+                    return;
+                }
+            }
+        }
+        ctx.writeLabeled<int64_t>(addr_, label_, value - 1);
+        ok = true;
+    });
+    return ok;
+}
+
+int64_t
+BoundedCounter::read(ThreadContext &ctx)
+{
+    int64_t value = 0;
+    ctx.txRun([&] { value = ctx.read<int64_t>(addr_); });
+    return value;
+}
+
+int64_t
+BoundedCounter::peek(Machine &machine) const
+{
+    const LineData line =
+        machine.memSys().debugReducedValue(lineAddr(addr_));
+    int64_t value;
+    std::memcpy(&value, line.data() + lineOffset(addr_), sizeof(value));
+    return value;
+}
+
+} // namespace commtm

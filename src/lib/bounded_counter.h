@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Bounded non-negative counter (Sec. IV): increment always commutes;
+ * decrement commutes only while the counter is positive — a
+ * *conditionally commutative* operation. With gather requests, a thread
+ * whose local delta is zero rebalances value from other caches without
+ * leaving the reducible state; without them, it falls back to a plain
+ * load that triggers a full reduction.
+ *
+ * Use cases: reference counting (Fig. 10) and the remaining-space
+ * counters of resizable hash tables (genome, vacation; Table II).
+ */
+
+#ifndef COMMTM_LIB_BOUNDED_COUNTER_H
+#define COMMTM_LIB_BOUNDED_COUNTER_H
+
+#include "rt/machine.h"
+
+namespace commtm {
+
+class BoundedCounter
+{
+  public:
+    /** Define the bounded-ADD label (an ADD label with a splitter). */
+    static Label defineLabel(Machine &machine);
+
+    /**
+     * @param initial starting value, written directly to simulated
+     *        memory (call before the parallel region).
+     */
+    BoundedCounter(Machine &machine, Label label, int64_t initial = 0);
+
+    /** Commutative increment (always succeeds). */
+    void increment(ThreadContext &ctx, int64_t delta = 1);
+
+    /**
+     * Decrement by 1 if the counter is positive (paper's decrement()
+     * pseudocode, Sec. IV). Runs as a (possibly nested) transaction.
+     * @return true if decremented, false if the counter was zero.
+     */
+    bool decrement(ThreadContext &ctx);
+
+    /** Full-value read (reduction). */
+    int64_t read(ThreadContext &ctx);
+
+    /** Untimed committed value, for host-side verification. */
+    int64_t peek(Machine &machine) const;
+
+    Addr addr() const { return addr_; }
+
+  private:
+    Machine &machine_;
+    Addr addr_;
+    Label label_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_LIB_BOUNDED_COUNTER_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared commutative counter (Sec. III-A's running example). Increments
+ * from concurrent transactions proceed locally in the U state; reads
+ * trigger a reduction.
+ */
+
+#ifndef COMMTM_LIB_COUNTER_H
+#define COMMTM_LIB_COUNTER_H
+
+#include "rt/machine.h"
+
+namespace commtm {
+
+/**
+ * A 64-bit shared counter supporting commutative add() and a
+ * (non-commutative) read(). One cache line holds up to 8 counters; this
+ * class allocates a line-aligned slot, so independent counters may share
+ * lines safely (reductions merge identity zeros for unused slots).
+ */
+class CommCounter
+{
+  public:
+    /** Define the ADD label this counter family uses. Call once per
+     *  Machine, before constructing counters. */
+    static Label
+    defineLabel(Machine &machine)
+    {
+        return machine.labels().define(labels::makeAdd<int64_t>("ADD"));
+    }
+
+    CommCounter(Machine &machine, Label add_label)
+        : addr_(machine.allocator().alloc(sizeof(int64_t), sizeof(int64_t))),
+          label_(add_label)
+    {
+    }
+
+    /** Commutatively add @p delta within a transaction. */
+    void
+    add(ThreadContext &ctx, int64_t delta)
+    {
+        ctx.txRun([&] {
+            const int64_t local = ctx.readLabeled<int64_t>(addr_, label_);
+            ctx.writeLabeled<int64_t>(addr_, label_, local + delta);
+        });
+    }
+
+    /** Read the full value (triggers a reduction if the line is in U). */
+    int64_t
+    read(ThreadContext &ctx)
+    {
+        int64_t value = 0;
+        ctx.txRun([&] { value = ctx.read<int64_t>(addr_); });
+        return value;
+    }
+
+    /** Untimed committed value, for host-side verification. */
+    int64_t
+    peek(Machine &machine) const
+    {
+        const LineData line = machine.memSys().debugReducedValue(
+            lineAddr(addr_));
+        int64_t value;
+        std::memcpy(&value, line.data() + lineOffset(addr_), sizeof(value));
+        return value;
+    }
+
+    Addr addr() const { return addr_; }
+    Label label() const { return label_; }
+
+  private:
+    Addr addr_;
+    Label label_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_LIB_COUNTER_H

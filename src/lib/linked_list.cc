@@ -1,0 +1,182 @@
+#include "lib/linked_list.h"
+
+namespace commtm {
+
+namespace {
+
+struct ListDesc {
+    Addr head;
+    Addr tail;
+};
+
+ListDesc
+descOf(const LineData &line)
+{
+    ListDesc d;
+    std::memcpy(&d, line.data(), sizeof(d));
+    return d;
+}
+
+void
+setDesc(LineData &line, const ListDesc &d)
+{
+    std::memcpy(line.data(), &d, sizeof(d));
+}
+
+} // namespace
+
+Label
+CommList::defineLabel(Machine &machine)
+{
+    LabelInfo info;
+    info.name = "LIST";
+    info.identity.fill(0); // empty list: head = tail = null
+
+    // Reduction: concatenate the incoming partial list onto the local
+    // one (Fig. 11a). Link via a non-speculative write to the local
+    // tail node's next pointer.
+    info.reduce = [](HandlerContext &ctx, LineData &local,
+                     const LineData &incoming) {
+        ListDesc mine = descOf(local);
+        const ListDesc theirs = descOf(incoming);
+        if (theirs.head == 0)
+            return;
+        if (mine.head == 0) {
+            mine = theirs;
+        } else {
+            ctx.write<Addr>(mine.tail + CommList::kNextOff, theirs.head);
+            mine.tail = theirs.tail;
+        }
+        setDesc(local, mine);
+        ctx.compute(4);
+    };
+
+    // Splitter: donate the head element (Fig. 11b).
+    info.split = [](HandlerContext &ctx, LineData &local, LineData &out,
+                    uint32_t /* num_sharers */) {
+        ListDesc mine = descOf(local);
+        if (mine.head == 0)
+            return; // nothing to donate; out stays the identity
+        ListDesc donation;
+        donation.head = donation.tail = mine.head;
+        const Addr next = ctx.read<Addr>(mine.head + CommList::kNextOff);
+        ctx.write<Addr>(mine.head + CommList::kNextOff, 0);
+        mine.head = next;
+        if (next == 0)
+            mine.tail = 0;
+        setDesc(local, mine);
+        setDesc(out, donation);
+        ctx.compute(4);
+    };
+    // Donate only from surplus: a sharer holding a single element keeps
+    // it (its own next dequeue consumes it locally; donating it would
+    // just force that sharer to gather right back). head != tail means
+    // at least two elements.
+    info.splitProbe = [](const LineData &local, uint32_t) {
+        const ListDesc d = descOf(local);
+        return d.head != 0 && d.head != d.tail;
+    };
+    return machine.labels().define(std::move(info));
+}
+
+CommList::CommList(Machine &machine, Label label, bool baseline_layout)
+    : machine_(machine), label_(label)
+{
+    if (baseline_layout) {
+        // The paper's baseline allocates head and tail on different
+        // lines to avoid false sharing (Sec. VI).
+        head_ = machine.allocator().allocLines(1);
+        tail_ = machine.allocator().allocLines(1);
+    } else {
+        // CommTM: one reducible descriptor line holding {head, tail}.
+        head_ = machine.allocator().allocLines(1);
+        tail_ = head_ + 8;
+    }
+}
+
+Addr
+CommList::allocNode(uint64_t /* hint_align */)
+{
+    // One node per line: keeps nodes created by different cores from
+    // sharing lines, which would add false write-write conflicts that
+    // neither system under study contains.
+    return machine_.allocator().allocLines(1);
+}
+
+void
+CommList::enqueue(ThreadContext &ctx, uint64_t value)
+{
+    const Addr node = allocNode();
+    ctx.txRun([&] {
+        ctx.write<uint64_t>(node + kValueOff, value);
+        ctx.write<Addr>(node + kNextOff, 0);
+        const Addr tail = ctx.readLabeled<Addr>(tail_, label_);
+        if (tail == 0) {
+            ctx.writeLabeled<Addr>(head_, label_, node);
+        } else {
+            // The old tail belongs to this core's partial list (or to
+            // the global list in the baseline); append behind it.
+            ctx.write<Addr>(tail + kNextOff, node);
+        }
+        ctx.writeLabeled<Addr>(tail_, label_, node);
+    });
+}
+
+bool
+CommList::dequeue(ThreadContext &ctx, uint64_t *out)
+{
+    bool ok = false;
+    ctx.txRun([&] {
+        ok = false;
+        Addr head = ctx.readLabeled<Addr>(head_, label_);
+        if (head == 0) {
+            // Local partial list empty: gather a donated element.
+            head = ctx.readGather<Addr>(head_, label_);
+            if (head == 0) {
+                // Still empty: check the true state (full reduction).
+                head = ctx.read<Addr>(head_);
+                if (head == 0)
+                    return;
+            }
+        }
+        const Addr next = ctx.read<Addr>(head + kNextOff);
+        *out = ctx.read<uint64_t>(head + kValueOff);
+        ctx.writeLabeled<Addr>(head_, label_, next);
+        if (next == 0)
+            ctx.writeLabeled<Addr>(tail_, label_, 0);
+        ok = true;
+    });
+    return ok;
+}
+
+std::vector<uint64_t>
+CommList::peekAll(Machine &machine) const
+{
+    std::vector<uint64_t> values;
+    const auto walk = [&](Addr h) {
+        while (h != 0) {
+            values.push_back(
+                machine.memory().read<uint64_t>(h + kValueOff));
+            h = machine.memory().read<Addr>(h + kNextOff);
+        }
+    };
+    const auto copies = machine.memSys().debugUCopies(lineAddr(head_));
+    if (copies.empty()) {
+        walk(machine.memory().read<Addr>(head_));
+    } else {
+        for (const LineData &copy : copies) {
+            Addr h;
+            std::memcpy(&h, copy.data() + lineOffset(head_), sizeof(h));
+            walk(h);
+        }
+    }
+    return values;
+}
+
+uint64_t
+CommList::peekSize(Machine &machine) const
+{
+    return peekAll(machine).size();
+}
+
+} // namespace commtm

@@ -1,0 +1,73 @@
+#include "lib/ordered_put.h"
+
+namespace commtm {
+
+Label
+OrderedPut::defineLabel(Machine &machine)
+{
+    LabelInfo info;
+    info.name = "OPUT";
+    constexpr size_t cells = kLineSize / sizeof(Pair);
+    auto *id = reinterpret_cast<Pair *>(info.identity.data());
+    for (size_t i = 0; i < cells; i++)
+        id[i] = Pair{kEmptyKey, 0};
+    info.reduce = [](HandlerContext &ctx, LineData &local,
+                     const LineData &incoming) {
+        auto *dst = reinterpret_cast<Pair *>(local.data());
+        auto *src = reinterpret_cast<const Pair *>(incoming.data());
+        for (size_t i = 0; i < cells; i++) {
+            if (src[i].key < dst[i].key)
+                dst[i] = src[i];
+        }
+        ctx.compute(cells);
+    };
+    return machine.labels().define(std::move(info));
+}
+
+OrderedPut::OrderedPut(Machine &machine, Label label)
+    : addr_(machine.allocator().alloc(sizeof(Pair), sizeof(Pair))),
+      label_(label)
+{
+    initCell(machine, addr_);
+}
+
+void
+OrderedPut::initCell(Machine &machine, Addr cell)
+{
+    machine.memory().write<Pair>(cell, Pair{kEmptyKey, 0});
+}
+
+void
+OrderedPut::put(ThreadContext &ctx, int64_t key, uint64_t value)
+{
+    ctx.txRun([&] {
+        const int64_t current = ctx.readLabeled<int64_t>(addr_, label_);
+        if (key < current) {
+            ctx.writeLabeled<int64_t>(addr_, label_, key);
+            ctx.writeLabeled<uint64_t>(addr_ + 8, label_, value);
+        }
+    });
+}
+
+OrderedPut::Pair
+OrderedPut::get(ThreadContext &ctx)
+{
+    Pair pair{kEmptyKey, 0};
+    ctx.txRun([&] {
+        pair.key = ctx.read<int64_t>(addr_);
+        pair.value = ctx.read<uint64_t>(addr_ + 8);
+    });
+    return pair;
+}
+
+OrderedPut::Pair
+OrderedPut::peek(Machine &machine) const
+{
+    const LineData line =
+        machine.memSys().debugReducedValue(lineAddr(addr_));
+    Pair pair;
+    std::memcpy(&pair, line.data() + lineOffset(addr_), sizeof(pair));
+    return pair;
+}
+
+} // namespace commtm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ordered puts / priority updates (Sec. VI): replace a key-value pair
+ * with a new pair iff the new key is lower. Semantically commutative:
+ * the final pair is the minimum-key pair regardless of order. Frequent
+ * in databases and challenging parallel algorithms (e.g., boruvka's
+ * minimum-weight-edge records).
+ */
+
+#ifndef COMMTM_LIB_ORDERED_PUT_H
+#define COMMTM_LIB_ORDERED_PUT_H
+
+#include "rt/machine.h"
+
+namespace commtm {
+
+/**
+ * A 16-byte {key, value} cell. Four cells fit per line; independent
+ * cells may share a reducible line (reductions work element-wise).
+ */
+class OrderedPut
+{
+  public:
+    struct Pair {
+        int64_t key;
+        uint64_t value;
+    };
+    static constexpr int64_t kEmptyKey =
+        std::numeric_limits<int64_t>::max();
+
+    /** Define the OPUT label: identity = {kEmptyKey, 0} cells; reduce
+     *  keeps the lower-key pair of each cell. */
+    static Label defineLabel(Machine &machine);
+
+    OrderedPut(Machine &machine, Label label);
+
+    /** Construct over an existing 16-byte-aligned cell (e.g., one slot
+     *  of an array of cells). The cell must be initialized to the
+     *  identity before the parallel region; see initCell(). */
+    OrderedPut(Addr cell, Label label) : addr_(cell), label_(label) {}
+
+    /** Write the identity into a cell (host-side, before running). */
+    static void initCell(Machine &machine, Addr cell);
+
+    /** Put (key, value) if key is lower than the current key. */
+    void put(ThreadContext &ctx, int64_t key, uint64_t value);
+
+    /** Read the full (reduced) pair. */
+    Pair get(ThreadContext &ctx);
+
+    /** Untimed committed pair, for host-side verification. */
+    Pair peek(Machine &machine) const;
+
+    Addr addr() const { return addr_; }
+
+  private:
+    Addr addr_;
+    Label label_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_LIB_ORDERED_PUT_H

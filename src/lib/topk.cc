@@ -1,0 +1,193 @@
+#include "lib/topk.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace commtm {
+
+namespace {
+
+/**
+ * Binary min-heap of int64 keys stored as a plain array in simulated
+ * memory. Works through any context providing read<T>/write<T>
+ * (ThreadContext inside transactions, HandlerContext in reductions).
+ */
+template <typename Ctx>
+void
+heapSiftUp(Ctx &ctx, Addr heap, uint64_t idx)
+{
+    while (idx > 0) {
+        const uint64_t parent = (idx - 1) / 2;
+        const int64_t v = ctx.template read<int64_t>(heap + 8 * idx);
+        const int64_t p = ctx.template read<int64_t>(heap + 8 * parent);
+        if (p <= v)
+            break;
+        ctx.template write<int64_t>(heap + 8 * idx, p);
+        ctx.template write<int64_t>(heap + 8 * parent, v);
+        idx = parent;
+    }
+}
+
+template <typename Ctx>
+void
+heapSiftDown(Ctx &ctx, Addr heap, uint64_t size, uint64_t idx)
+{
+    for (;;) {
+        const uint64_t left = 2 * idx + 1;
+        if (left >= size)
+            break;
+        uint64_t child = left;
+        const uint64_t right = left + 1;
+        if (right < size &&
+            ctx.template read<int64_t>(heap + 8 * right) <
+                ctx.template read<int64_t>(heap + 8 * left)) {
+            child = right;
+        }
+        const int64_t v = ctx.template read<int64_t>(heap + 8 * idx);
+        const int64_t c = ctx.template read<int64_t>(heap + 8 * child);
+        if (v <= c)
+            break;
+        ctx.template write<int64_t>(heap + 8 * idx, c);
+        ctx.template write<int64_t>(heap + 8 * child, v);
+        idx = child;
+    }
+}
+
+/** Insert @p key into a heap bounded at @p k; returns the new size. */
+template <typename Ctx>
+uint64_t
+heapBoundedInsert(Ctx &ctx, Addr heap, uint64_t size, uint64_t k,
+                  int64_t key)
+{
+    if (size < k) {
+        ctx.template write<int64_t>(heap + 8 * size, key);
+        heapSiftUp(ctx, heap, size);
+        return size + 1;
+    }
+    const int64_t min = ctx.template read<int64_t>(heap);
+    if (key > min) {
+        ctx.template write<int64_t>(heap, key);
+        heapSiftDown(ctx, heap, size, 0);
+    }
+    return size;
+}
+
+struct TopKDesc {
+    Addr heap;
+    uint64_t size;
+};
+
+TopKDesc
+descOf(const LineData &line)
+{
+    TopKDesc d;
+    std::memcpy(&d, line.data(), sizeof(d));
+    return d;
+}
+
+void
+setDesc(LineData &line, const TopKDesc &d)
+{
+    std::memcpy(line.data(), &d, sizeof(d));
+}
+
+} // namespace
+
+Label
+TopK::defineLabel(Machine &machine, uint32_t k)
+{
+    LabelInfo info;
+    info.name = "TOPK";
+    info.identity.fill(0); // no heap, size 0
+
+    // Reduction (Fig. 15): merge the incoming local heap into ours.
+    info.reduce = [k](HandlerContext &ctx, LineData &local,
+                      const LineData &incoming) {
+        TopKDesc mine = descOf(local);
+        const TopKDesc theirs = descOf(incoming);
+        if (theirs.heap == 0 || theirs.size == 0)
+            return;
+        if (mine.heap == 0) {
+            // Steal the incoming heap wholesale.
+            setDesc(local, theirs);
+            return;
+        }
+        for (uint64_t i = 0; i < theirs.size; i++) {
+            const int64_t key =
+                ctx.read<int64_t>(theirs.heap + 8 * i);
+            mine.size =
+                heapBoundedInsert(ctx, mine.heap, mine.size, k, key);
+        }
+        setDesc(local, mine);
+        ctx.compute(theirs.size);
+    };
+    return machine.labels().define(std::move(info));
+}
+
+TopK::TopK(Machine &machine, Label label, uint32_t k)
+    : machine_(machine), desc_(machine.allocator().allocLines(1)),
+      label_(label), k_(k)
+{
+}
+
+void
+TopK::insert(ThreadContext &ctx, int64_t key)
+{
+    ctx.txRun([&] {
+        Addr heap = ctx.readLabeled<Addr>(desc_ + kHeapPtrOff, label_);
+        uint64_t size =
+            ctx.readLabeled<uint64_t>(desc_ + kSizeOff, label_);
+        if (heap == 0) {
+            // First insertion through this copy: allocate a local heap.
+            heap = machine_.allocator().alloc(8 * k_, kLineSize);
+            ctx.writeLabeled<Addr>(desc_ + kHeapPtrOff, label_, heap);
+        }
+        const uint64_t new_size =
+            heapBoundedInsert(ctx, heap, size, k_, key);
+        if (new_size != size)
+            ctx.writeLabeled<uint64_t>(desc_ + kSizeOff, label_,
+                                       new_size);
+    });
+}
+
+std::vector<int64_t>
+TopK::readAll(ThreadContext &ctx)
+{
+    std::vector<int64_t> keys;
+    ctx.txRun([&] {
+        keys.clear();
+        const Addr heap = ctx.read<Addr>(desc_ + kHeapPtrOff);
+        const uint64_t size = ctx.read<uint64_t>(desc_ + kSizeOff);
+        for (uint64_t i = 0; i < size; i++)
+            keys.push_back(ctx.read<int64_t>(heap + 8 * i));
+    });
+    return keys;
+}
+
+std::vector<int64_t>
+TopK::peekAll(Machine &machine) const
+{
+    std::vector<int64_t> keys;
+    const auto drain = [&](const TopKDesc &d) {
+        for (uint64_t i = 0; i < d.size; i++)
+            keys.push_back(
+                machine.memory().read<int64_t>(d.heap + 8 * i));
+    };
+    const auto copies = machine.memSys().debugUCopies(lineAddr(desc_));
+    if (copies.empty()) {
+        TopKDesc d;
+        d.heap = machine.memory().read<Addr>(desc_ + kHeapPtrOff);
+        d.size = machine.memory().read<uint64_t>(desc_ + kSizeOff);
+        drain(d);
+    } else {
+        for (const LineData &copy : copies)
+            drain(descOf(copy));
+    }
+    // Merging partial heaps host-side: keep only the K largest.
+    std::sort(keys.begin(), keys.end(), std::greater<int64_t>());
+    if (keys.size() > k_)
+        keys.resize(k_);
+    return keys;
+}
+
+} // namespace commtm

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Generic set-associative cache tag array with LRU replacement.
+ *
+ * The array stores metadata only; functional data lives in SimMemory and
+ * in per-core U-state copies (see mem/coherence.h). Used for the private
+ * L1s/L2s and the shared L3 (whose entries embed the in-cache directory).
+ */
+
+#ifndef COMMTM_MEM_CACHE_ARRAY_H
+#define COMMTM_MEM_CACHE_ARRAY_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace commtm {
+
+/**
+ * Set-associative array of Entry. Entry must provide fields:
+ *   Addr line; bool valid; uint64_t lru;
+ * plus whatever payload the owner needs, and a reset() method that
+ * returns it to the invalid state.
+ */
+template <typename Entry>
+class CacheArray
+{
+  public:
+    /**
+     * @param num_lines total capacity in lines (sets = num_lines / ways)
+     * @param ways associativity
+     */
+    CacheArray(uint32_t num_lines, uint32_t ways)
+        : ways_(ways), sets_(num_lines / ways), entries_(num_lines)
+    {
+        assert(ways_ > 0 && sets_ > 0);
+        assert(num_lines % ways == 0);
+    }
+
+    uint32_t numSets() const { return sets_; }
+    uint32_t ways() const { return ways_; }
+
+    /** Find the entry caching @p line, or nullptr. Does not touch LRU. */
+    Entry *
+    lookup(Addr line)
+    {
+        Entry *base = setBase(line);
+        for (uint32_t w = 0; w < ways_; w++) {
+            if (base[w].valid && base[w].line == line)
+                return &base[w];
+        }
+        return nullptr;
+    }
+
+    const Entry *
+    lookup(Addr line) const
+    {
+        return const_cast<CacheArray *>(this)->lookup(line);
+    }
+
+    /** Mark @p entry most-recently used. */
+    void touch(Entry *entry) { entry->lru = ++lruClock_; }
+
+    /** Outcome of an insert: the filled slot plus any displaced entry.
+     *  The victim is returned *by copy* and the slot is re-used before
+     *  the caller processes the eviction, so eviction side effects that
+     *  re-enter the array (e.g., reduction handlers) see a consistent
+     *  state. */
+    struct InsertResult {
+        Entry *entry = nullptr;
+        bool evicted = false;
+        Entry victim{};
+    };
+
+    /**
+     * Pick the entry that will host @p line, evicting if necessary.
+     * Never call when lookup(line) already hits.
+     *
+     * @param line the incoming line
+     * @param may_evict optional predicate; entries for which it returns
+     *        false are skipped during victim selection (used to keep
+     *        reduction-handler fills from evicting U-state lines,
+     *        Sec. III-B4's reserved-way rule). At least one way per set
+     *        must remain eligible; asserted.
+     * @return the filled (still field-less) entry plus the victim copy.
+     */
+    InsertResult
+    insert(Addr line, const std::function<bool(const Entry &)> &may_evict)
+    {
+        InsertResult res;
+        Entry *base = setBase(line);
+        // Prefer an invalid way.
+        for (uint32_t w = 0; w < ways_; w++) {
+            if (!base[w].valid) {
+                prepare(&base[w], line);
+                res.entry = &base[w];
+                return res;
+            }
+        }
+        // Evict the least-recently-used eligible way.
+        Entry *victim = nullptr;
+        for (uint32_t w = 0; w < ways_; w++) {
+            if (may_evict && !may_evict(base[w]))
+                continue;
+            if (!victim || base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+        assert(victim && "no eligible victim (reserved-way invariant)");
+        res.evicted = true;
+        res.victim = *victim;
+        prepare(victim, line);
+        res.entry = victim;
+        return res;
+    }
+
+    /** LRU valid entry in @p line's set satisfying @p pred, or nullptr. */
+    Entry *
+    findLruWhere(Addr line, const std::function<bool(const Entry &)> &pred)
+    {
+        Entry *base = setBase(line);
+        Entry *best = nullptr;
+        for (uint32_t w = 0; w < ways_; w++) {
+            if (!base[w].valid || !pred(base[w]))
+                continue;
+            if (!best || base[w].lru < best->lru)
+                best = &base[w];
+        }
+        return best;
+    }
+
+    /** Invalidate the entry caching @p line if present. */
+    void
+    erase(Addr line)
+    {
+        if (Entry *e = lookup(line)) {
+            e->reset();
+            e->valid = false;
+        }
+    }
+
+    /** Count valid entries in @p line's set satisfying @p pred. */
+    uint32_t
+    countInSet(Addr line, const std::function<bool(const Entry &)> &pred)
+        const
+    {
+        const Entry *base =
+            const_cast<CacheArray *>(this)->setBase(line);
+        uint32_t n = 0;
+        for (uint32_t w = 0; w < ways_; w++) {
+            if (base[w].valid && pred(base[w]))
+                n++;
+        }
+        return n;
+    }
+
+    /** Iterate over all valid entries. */
+    void
+    forEach(const std::function<void(Entry &)> &fn)
+    {
+        for (auto &e : entries_) {
+            if (e.valid)
+                fn(e);
+        }
+    }
+
+    /** Invalidate everything (between experiments). */
+    void
+    clear()
+    {
+        for (auto &e : entries_) {
+            e.reset();
+            e.valid = false;
+        }
+    }
+
+  private:
+    Entry *setBase(Addr line) { return &entries_[(line % sets_) * ways_]; }
+
+    void
+    prepare(Entry *entry, Addr line)
+    {
+        entry->reset();
+        entry->valid = true;
+        entry->line = line;
+        entry->lru = ++lruClock_;
+    }
+
+    uint32_t ways_;
+    uint32_t sets_;
+    uint64_t lruClock_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_MEM_CACHE_ARRAY_H

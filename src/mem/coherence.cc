@@ -1,0 +1,1128 @@
+#include "mem/coherence.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace commtm {
+
+const char *
+privStateName(PrivState state)
+{
+    switch (state) {
+      case PrivState::I: return "I";
+      case PrivState::S: return "S";
+      case PrivState::E: return "E";
+      case PrivState::M: return "M";
+      case PrivState::U: return "U";
+    }
+    return "?";
+}
+
+const char *
+dirStateName(DirState state)
+{
+    switch (state) {
+      case DirState::NonCached: return "NonCached";
+      case DirState::S: return "S";
+      case DirState::M: return "M";
+      case DirState::U: return "U";
+    }
+    return "?";
+}
+
+MemorySystem::MemorySystem(const MachineConfig &cfg, SimMemory &memory,
+                           const LabelRegistry &labels, MachineStats &stats,
+                           Rng &rng)
+    : cfg_(cfg), memory_(memory), labels_(labels), stats_(stats), rng_(rng),
+      noc_(cfg), l3_(cfg.l3Lines(), cfg.l3Ways)
+{
+    cores_.reserve(cfg.numCores);
+    for (uint32_t c = 0; c < cfg.numCores; c++) {
+        cores_.push_back(std::make_unique<PerCore>(
+            cfg.l1Lines(), cfg.l1Ways, cfg.l2Lines(), cfg.l2Ways));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handler (shadow thread) context
+// ---------------------------------------------------------------------
+
+void
+MemorySystem::HandlerCtx::rawRead(Addr addr, void *out, size_t size)
+{
+    auto *dst = static_cast<uint8_t *>(out);
+    while (size > 0) {
+        const size_t chunk =
+            std::min(size, size_t(kLineSize - lineOffset(addr)));
+        Access a;
+        a.core = core_;
+        a.addr = addr;
+        a.size = uint32_t(chunk);
+        a.op = MemOp::Load;
+        a.handler = true;
+        const AccessResult r = ms_.access(a);
+        assert(!r.mustAbort());
+        lat_ += r.latency;
+        ms_.memory_.read(addr, dst, chunk);
+        dst += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+void
+MemorySystem::HandlerCtx::rawWrite(Addr addr, const void *src, size_t size)
+{
+    const auto *from = static_cast<const uint8_t *>(src);
+    while (size > 0) {
+        const size_t chunk =
+            std::min(size, size_t(kLineSize - lineOffset(addr)));
+        Access a;
+        a.core = core_;
+        a.addr = addr;
+        a.size = uint32_t(chunk);
+        a.op = MemOp::Store;
+        a.handler = true;
+        const AccessResult r = ms_.access(a);
+        assert(!r.mustAbort());
+        lat_ += r.latency;
+        ms_.memory_.write(addr, from, chunk);
+        from += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lookup helpers
+// ---------------------------------------------------------------------
+
+PrivLine *
+MemorySystem::findL1(CoreId core, Addr line)
+{
+    return cores_[core]->l1.lookup(line);
+}
+
+const PrivLine *
+MemorySystem::findL1(CoreId core, Addr line) const
+{
+    return cores_[core]->l1.lookup(line);
+}
+
+PrivLine *
+MemorySystem::findL2(CoreId core, Addr line)
+{
+    return cores_[core]->l2.lookup(line);
+}
+
+bool
+MemorySystem::coreHasU(CoreId core, Addr line) const
+{
+    return cores_[core]->uCopies.count(line) != 0;
+}
+
+LineData &
+MemorySystem::uCopy(CoreId core, Addr line)
+{
+    auto it = cores_[core]->uCopies.find(line);
+    assert(it != cores_[core]->uCopies.end());
+    return it->second;
+}
+
+const LineData &
+MemorySystem::uCopy(CoreId core, Addr line) const
+{
+    auto it = cores_[core]->uCopies.find(line);
+    assert(it != cores_[core]->uCopies.end());
+    return it->second;
+}
+
+void
+MemorySystem::clearSpec(CoreId core, Addr line)
+{
+    if (PrivLine *e1 = findL1(core, line)) {
+        e1->specRead = false;
+        e1->specWrite = false;
+    }
+}
+
+PrivState
+MemorySystem::privState(CoreId core, Addr line) const
+{
+    if (const PrivLine *e1 = findL1(core, line))
+        return e1->state;
+    if (const PrivLine *e2 = cores_[core]->l2.lookup(line))
+        return e2->state;
+    return PrivState::I;
+}
+
+DirState
+MemorySystem::dirState(Addr line) const
+{
+    const L3Line *e = l3_.lookup(line);
+    return e ? e->dir : DirState::NonCached;
+}
+
+Label
+MemorySystem::dirLabel(Addr line) const
+{
+    const L3Line *e = l3_.lookup(line);
+    return e ? e->label : kNoLabel;
+}
+
+uint32_t
+MemorySystem::sharerCount(Addr line) const
+{
+    const L3Line *e = l3_.lookup(line);
+    return e ? e->sharers.count() : 0;
+}
+
+namespace {
+
+/** Functional-only handler context: reads/writes go straight to the
+ *  backing store with no timing or coherence effects. Used only for
+ *  debug/verification reductions that must not perturb the simulation. */
+class UntimedHandlerCtx : public HandlerContext
+{
+  public:
+    explicit UntimedHandlerCtx(const SimMemory &mem)
+        : mem_(const_cast<SimMemory &>(mem))
+    {
+    }
+    void
+    rawRead(Addr addr, void *out, size_t size) override
+    {
+        mem_.read(addr, out, size);
+    }
+    void
+    rawWrite(Addr, const void *, size_t) override
+    {
+        assert(false && "debug reductions must not write memory");
+    }
+    void compute(uint64_t) override {}
+
+  private:
+    SimMemory &mem_;
+};
+
+} // namespace
+
+LineData
+MemorySystem::debugReducedValue(Addr line) const
+{
+    const L3Line *e = l3_.lookup(line);
+    if (!e || e->dir != DirState::U)
+        return memory_.readLine(line);
+    const LabelInfo &li = labels_.get(e->label);
+    UntimedHandlerCtx ctx(memory_);
+    LineData acc{};
+    bool have = false;
+    e->sharers.forEach([&](CoreId s) {
+        auto it = cores_[s]->uCopies.find(line);
+        assert(it != cores_[s]->uCopies.end());
+        if (!have) {
+            acc = it->second;
+            have = true;
+        } else {
+            LineData local = acc;
+            li.reduce(ctx, local, it->second);
+            acc = local;
+        }
+    });
+    assert(have);
+    return acc;
+}
+
+std::vector<LineData>
+MemorySystem::debugUCopies(Addr line) const
+{
+    std::vector<LineData> copies;
+    const L3Line *e = l3_.lookup(line);
+    if (!e || e->dir != DirState::U)
+        return copies;
+    e->sharers.forEach([&](CoreId s) {
+        auto it = cores_[s]->uCopies.find(line);
+        assert(it != cores_[s]->uCopies.end());
+        copies.push_back(it->second);
+    });
+    return copies;
+}
+
+// ---------------------------------------------------------------------
+// Conflict detection and resolution
+// ---------------------------------------------------------------------
+
+AbortCause
+MemorySystem::classifyConflict(InvalKind kind, const PrivLine &victim) const
+{
+    if (victim.state == PrivState::U) {
+        return kind == InvalKind::ForSplit ? AbortCause::GatherAfterLabeled
+                                           : AbortCause::LabeledConflict;
+    }
+    switch (kind) {
+      case InvalKind::ForRead:
+        return AbortCause::ReadAfterWrite;
+      case InvalKind::ForWrite:
+        return victim.specWrite ? AbortCause::WriteAfterWrite
+                                : AbortCause::WriteAfterRead;
+      case InvalKind::ForLabeled:
+      case InvalKind::ForReduction:
+        return AbortCause::LabeledConflict;
+      case InvalKind::ForSplit:
+        return AbortCause::GatherAfterLabeled;
+    }
+    return AbortCause::LabeledConflict;
+}
+
+bool
+MemorySystem::battle(const Access &req, CoreId victim, Addr line,
+                     InvalKind kind, AccessResult &res)
+{
+    if (victim == req.core)
+        return true;
+    // Lazy (commit-time) detection: a speculative request never flags
+    // read/write conflicts; the committing transaction arbitrates.
+    // Reductions and splits stay immediate (DESIGN.md Sec. 6).
+    if (cfg_.conflictDetection == ConflictDetection::Lazy && req.isTx &&
+        (kind == InvalKind::ForRead || kind == InvalKind::ForWrite ||
+         kind == InvalKind::ForLabeled)) {
+        return true;
+    }
+    PrivLine *e1 = findL1(victim, line);
+    if (!e1 || !e1->spec() || !htm_ || !htm_->inTx(victim))
+        return true; // no speculative holder: plain coherence action
+    // A downgrade for a read only conflicts with a speculative writer.
+    if (kind == InvalKind::ForRead && !e1->specWrite)
+        return true;
+
+    const AbortCause cause = classifyConflict(kind, *e1);
+    const bool requester_wins =
+        cfg_.conflictPolicy == ConflictPolicy::RequesterWins ||
+        !req.isTx || // non-speculative requests cannot be NACKed
+        req.ts < htm_->txTs(victim); // the earlier transaction wins
+
+    if (requester_wins) {
+        htm_->remoteAbort(victim, cause);
+        return true;
+    }
+    stats_.nacks++;
+    res.nackAbort = true;
+    res.cause = cause;
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Private-hierarchy fills and evictions
+// ---------------------------------------------------------------------
+
+void
+MemorySystem::markSpec(const Access &req, Addr line)
+{
+    PrivLine *e1 = findL1(req.core, line);
+#ifndef NDEBUG
+    if (!e1) {
+        fprintf(stderr,
+                "markSpec miss: core=%u op=%d label=%d line=%llx "
+                "l2=%d dir=%d sharers=%u hasU=%d\n",
+                req.core, int(req.op), int(req.label),
+                (unsigned long long)line,
+                int(privState(req.core, line)), int(dirState(line)),
+                sharerCount(line), int(coreHasU(req.core, line)));
+    }
+#endif
+    assert(e1 && "speculative access must leave the line in the L1");
+    const bool labeled = req.op == MemOp::LabeledLoad ||
+                         req.op == MemOp::LabeledStore ||
+                         req.op == MemOp::Gather;
+    const bool is_load = !req.lazyWrite &&
+                         (req.op == MemOp::Load ||
+                          req.op == MemOp::LabeledLoad ||
+                          req.op == MemOp::Gather);
+    bool newly = false;
+    if (is_load) {
+        newly = !e1->specRead;
+        e1->specRead = true;
+    } else {
+        newly = !e1->specWrite;
+        e1->specWrite = true;
+    }
+    if (newly && htm_) {
+        const SpecKind kind = labeled ? SpecKind::Labeled
+                              : is_load ? SpecKind::Read
+                                        : SpecKind::Write;
+        htm_->noteSpecLine(req.core, line, kind);
+    }
+}
+
+bool
+MemorySystem::satisfiesLocally(const PrivLine &entry, MemOp op,
+                               Label label) const
+{
+    switch (entry.state) {
+      case PrivState::I:
+        return false;
+      case PrivState::S:
+        return op == MemOp::Load;
+      case PrivState::E:
+      case PrivState::M:
+        // Exclusive states satisfy all requests, labeled or not (Fig. 3).
+        // A gather on an exclusively-held line is trivially satisfied:
+        // the whole value is local, so there is nothing to gather.
+        return true;
+      case PrivState::U:
+        return (op == MemOp::LabeledLoad || op == MemOp::LabeledStore) &&
+               entry.label == label;
+    }
+    return false;
+}
+
+namespace {
+
+bool
+isULine(const PrivLine &entry)
+{
+    return entry.state == PrivState::U;
+}
+
+} // namespace
+
+void
+MemorySystem::dropPriv(CoreId core, Addr line)
+{
+    cores_[core]->l1.erase(line);
+    cores_[core]->l2.erase(line);
+}
+
+void
+MemorySystem::removeUSharer(L3Line *e, CoreId core)
+{
+    e->sharers.clear(core);
+    dropPriv(core, e->line);
+    cores_[core]->uCopies.erase(e->line);
+}
+
+void
+MemorySystem::onEvictL1(CoreId core, PrivLine &victim)
+{
+    // Evicting speculatively-accessed data from the L1 aborts the
+    // transaction (Sec. III-B1 capacity rule; lazy mode tracks sets in
+    // signatures, so residency is not required).
+    if (victim.spec() && htm_ && htm_->inTx(core) &&
+        cfg_.conflictDetection == ConflictDetection::Eager)
+        htm_->remoteAbort(core, AbortCause::Capacity);
+    if (victim.dirty) {
+        if (PrivLine *e2 = findL2(core, victim.line))
+            e2->dirty = true;
+    }
+    // U lines stay resident in the L2; the U copy is untouched.
+}
+
+void
+MemorySystem::onEvictL2(CoreId core, PrivLine &victim, Cycle &lat)
+{
+    // Back-invalidate the L1 (inclusive hierarchy).
+    if (PrivLine *e1 = findL1(core, victim.line)) {
+        if (e1->spec() && htm_ && htm_->inTx(core) &&
+            cfg_.conflictDetection == ConflictDetection::Eager)
+            htm_->remoteAbort(core, AbortCause::Capacity);
+        cores_[core]->l1.erase(victim.line);
+    }
+    if (victim.state == PrivState::U) {
+        uEvict(core, victim.line, lat);
+        return;
+    }
+    if (L3Line *e = l3_.lookup(victim.line)) {
+        if (e->sharers.test(core)) {
+            e->sharers.clear(core);
+            if (victim.dirty)
+                stats_.writebacks++;
+            if (!e->sharers.any() && e->dir != DirState::U)
+                e->dir = DirState::NonCached;
+        }
+    }
+}
+
+void
+MemorySystem::uEvict(CoreId core, Addr line, Cycle &lat)
+{
+    // Guards: a recursive handler access may already have reduced this
+    // core's copy away (see DESIGN.md Sec. 2.3); then there is nothing
+    // left to do.
+    auto &copies = cores_[core]->uCopies;
+    auto it = copies.find(line);
+    if (it == copies.end())
+        return;
+    L3Line *e = l3_.lookup(line);
+    assert(e && e->dir == DirState::U && e->sharers.test(core));
+    const LineData copy = it->second;
+    copies.erase(it);
+    e->sharers.clear(core);
+
+    if (!e->sharers.any()) {
+        // Sole sharer: treated as a normal dirty writeback (Sec. III-B5).
+        memory_.writeLine(line, copy);
+        e->dir = DirState::NonCached;
+        e->label = kNoLabel;
+        stats_.uWritebacks++;
+        return;
+    }
+    // Forward to a random sharer, which reduces it with its local line.
+    const uint32_t pick = uint32_t(rng_.below(e->sharers.count()));
+    CoreId target = kNoCore;
+    uint32_t idx = 0;
+    e->sharers.forEach([&](CoreId s) {
+        if (idx++ == pick)
+            target = s;
+    });
+    assert(target != kNoCore);
+    // If the chosen core's transaction touches this line, it aborts.
+    if (PrivLine *te = findL1(target, line)) {
+        if (te->spec() && htm_ && htm_->inTx(target))
+            htm_->remoteAbort(target, AbortCause::UEviction);
+    }
+    HandlerCtx hctx(*this, target, lat);
+    labels_.get(e->label).reduce(hctx, cores_[target]->uCopies[line], copy);
+    lat += cfg_.reductionFixedCost + noc_.coreToCore(core, target);
+    stats_.uForwards++;
+}
+
+void
+MemorySystem::setPriv(CoreId core, Addr line, PrivState state, Label label,
+                      bool dirty, bool handler, Cycle &lat)
+{
+    assert(!(handler && state == PrivState::U));
+    PerCore &pc = *cores_[core];
+    const bool filling_u = state == PrivState::U;
+
+    const auto may_evict = [handler](const PrivLine &v) {
+        return !(handler && v.state == PrivState::U);
+    };
+
+    // Reserved-way rule (Sec. III-B4): keep at least one non-U way per
+    // set so reduction-handler fills never displace reducible data. A U
+    // fill that would break the invariant first evicts the LRU U line.
+    const auto reserve = [&](CacheArray<PrivLine> &arr, bool is_l2) {
+        if (!filling_u)
+            return;
+        while (arr.countInSet(line, isULine) >= arr.ways() - 1) {
+            PrivLine *v = arr.findLruWhere(line, isULine);
+            assert(v);
+            PrivLine copy = *v;
+            arr.erase(copy.line);
+            if (is_l2)
+                onEvictL2(core, copy, lat);
+            else
+                onEvictL1(core, copy);
+        }
+    };
+
+    // L2 first (inclusive parent), then L1.
+    bool evicted2 = false;
+    PrivLine victim2;
+    PrivLine *e2 = pc.l2.lookup(line);
+    if (!e2) {
+        reserve(pc.l2, true);
+        auto r = pc.l2.insert(line, may_evict);
+        e2 = r.entry;
+        evicted2 = r.evicted;
+        victim2 = r.victim;
+    }
+    e2->state = state;
+    e2->label = label;
+    e2->dirty = e2->dirty || dirty;
+    pc.l2.touch(e2);
+
+    bool evicted1 = false;
+    PrivLine victim1;
+    PrivLine *e1 = pc.l1.lookup(line);
+    if (!e1) {
+        reserve(pc.l1, false);
+        auto r = pc.l1.insert(line, may_evict);
+        e1 = r.entry;
+        evicted1 = r.evicted;
+        victim1 = r.victim;
+    }
+    e1->state = state;
+    e1->label = label;
+    e1->dirty = e1->dirty || dirty;
+    pc.l1.touch(e1);
+
+    // Deferred eviction side effects: run after the fills so handler
+    // recursion observes a consistent hierarchy.
+    if (evicted1)
+        onEvictL1(core, victim1);
+    if (evicted2)
+        onEvictL2(core, victim2, lat);
+}
+
+// ---------------------------------------------------------------------
+// L3 / directory
+// ---------------------------------------------------------------------
+
+void
+MemorySystem::onEvictL3(L3Line &victim, Cycle &lat)
+{
+    const Addr vline = victim.line;
+    if (victim.dir == DirState::U) {
+        // Inclusive L3: evicting a U line reduces it at one core and
+        // aborts every transaction that accessed it (Sec. III-B5).
+        const LabelInfo &li = labels_.get(victim.label);
+        LineData acc{};
+        bool have = false;
+        const CoreId host = victim.sharers.first();
+        HandlerCtx hctx(*this, host, lat);
+        victim.sharers.forEach([&](CoreId s) {
+            if (PrivLine *e1 = findL1(s, vline)) {
+                if (e1->spec() && htm_ && htm_->inTx(s))
+                    htm_->remoteAbort(s, AbortCause::UEviction);
+            }
+            auto it = cores_[s]->uCopies.find(vline);
+            if (it == cores_[s]->uCopies.end())
+                return;
+            if (!have) {
+                acc = it->second;
+                have = true;
+            } else {
+                li.reduce(hctx, acc, it->second);
+                lat += cfg_.reductionFixedCost;
+            }
+            cores_[s]->uCopies.erase(it);
+            dropPriv(s, vline);
+        });
+        if (have)
+            memory_.writeLine(vline, acc);
+        stats_.reductions++;
+        stats_.uWritebacks++;
+        return;
+    }
+    // Normal line: back-invalidate all private copies.
+    victim.sharers.forEach([&](CoreId s) {
+        if (PrivLine *e1 = findL1(s, vline)) {
+            if (e1->spec() && htm_ && htm_->inTx(s) &&
+                cfg_.conflictDetection == ConflictDetection::Eager)
+                htm_->remoteAbort(s, AbortCause::Capacity);
+        }
+        dropPriv(s, vline);
+    });
+    if (victim.dir == DirState::M)
+        stats_.writebacks++;
+}
+
+L3Line *
+MemorySystem::getL3(const Access &req, Addr line, Cycle &lat)
+{
+    if (L3Line *e = l3_.lookup(line)) {
+        l3_.touch(e);
+        stats_.l3Hits++;
+        return e;
+    }
+    stats_.l3Misses++;
+    lat += cfg_.memLatency;
+
+    const auto non_cached = [](const L3Line &v) {
+        return v.dir == DirState::NonCached;
+    };
+    std::function<bool(const L3Line &)> pred;
+    if (l3_.countInSet(line, non_cached) > 0) {
+        pred = non_cached;
+    } else if (req.handler) {
+        // Handlers must never trigger a reduction (deadlock avoidance):
+        // they cannot evict directory-U lines. With 16 ways this always
+        // leaves an eligible victim in practice; asserted in insert().
+        pred = [](const L3Line &v) { return v.dir != DirState::U; };
+    }
+    auto r = l3_.insert(line, pred);
+    if (r.evicted)
+        onEvictL3(r.victim, lat);
+    // Handler recursion inside onEvictL3 may have reshuffled the set;
+    // re-find our entry.
+    L3Line *e = l3_.lookup(line);
+    assert(e);
+    return e;
+}
+
+// ---------------------------------------------------------------------
+// Directory-side request handling
+// ---------------------------------------------------------------------
+
+void
+MemorySystem::handleGETS(const Access &req, L3Line *e, AccessResult &res)
+{
+    const Addr line = e->line;
+    const CoreId c = req.core;
+    switch (e->dir) {
+      case DirState::NonCached:
+        // MESI: the first reader gets the line exclusive-clean.
+        e->dir = DirState::M;
+        e->sharers.resetAll();
+        e->sharers.set(c);
+        setPriv(c, line, PrivState::E, kNoLabel, false, req.handler,
+                res.latency);
+        break;
+      case DirState::S:
+        e->sharers.set(c);
+        setPriv(c, line, PrivState::S, kNoLabel, false, req.handler,
+                res.latency);
+        break;
+      case DirState::M: {
+        const CoreId owner = e->sharers.first();
+        assert(owner != c && "exclusive holder would have hit locally");
+        if (!battle(req, owner, line, InvalKind::ForRead, res))
+            return;
+        // Downgrade the owner to S; it forwards the data.
+        if (PrivLine *oe1 = findL1(owner, line)) {
+            if (oe1->dirty)
+                stats_.writebacks++;
+            oe1->state = PrivState::S;
+            oe1->dirty = false;
+        }
+        if (PrivLine *oe2 = findL2(owner, line)) {
+            if (oe2->dirty)
+                stats_.writebacks++;
+            oe2->state = PrivState::S;
+            oe2->dirty = false;
+        }
+        stats_.downgrades++;
+        res.latency += noc_.coreToCore(owner, c);
+        e->dir = DirState::S;
+        e->sharers.set(c);
+        setPriv(c, line, PrivState::S, kNoLabel, false, req.handler,
+                res.latency);
+        break;
+      }
+      case DirState::U:
+        assert(!req.handler && "handlers must not touch U lines");
+        reduceLine(req, e, res, true, kNoLabel);
+        break;
+    }
+}
+
+void
+MemorySystem::handleGETX(const Access &req, L3Line *e, AccessResult &res)
+{
+    const Addr line = e->line;
+    const CoreId c = req.core;
+    switch (e->dir) {
+      case DirState::NonCached:
+        e->dir = DirState::M;
+        e->sharers.resetAll();
+        e->sharers.set(c);
+        setPriv(c, line, PrivState::M, kNoLabel, true, req.handler,
+                res.latency);
+        break;
+      case DirState::S: {
+        bool nacked = false;
+        Cycle max_leg = 0;
+        std::vector<CoreId> sharers;
+        e->sharers.forEach([&](CoreId s) {
+            if (s != c)
+                sharers.push_back(s);
+        });
+        for (CoreId s : sharers) {
+            if (!battle(req, s, line, InvalKind::ForWrite, res)) {
+                nacked = true;
+                continue;
+            }
+            dropPriv(s, line);
+            e->sharers.clear(s);
+            stats_.invalidations++;
+            max_leg = std::max(max_leg, noc_.coreToCore(s, c));
+        }
+        res.latency += max_leg;
+        if (nacked)
+            return;
+        e->dir = DirState::M;
+        e->sharers.resetAll();
+        e->sharers.set(c);
+        setPriv(c, line, PrivState::M, kNoLabel, true, req.handler,
+                res.latency);
+        break;
+      }
+      case DirState::M: {
+        const CoreId owner = e->sharers.first();
+        assert(owner != c && "exclusive holder would have hit locally");
+        if (!battle(req, owner, line, InvalKind::ForWrite, res))
+            return;
+        const PrivLine *oe2 = findL2(owner, line);
+        if (oe2 && oe2->dirty)
+            stats_.writebacks++;
+        dropPriv(owner, line);
+        stats_.invalidations++;
+        res.latency += noc_.coreToCore(owner, c);
+        e->sharers.resetAll();
+        e->sharers.set(c);
+        setPriv(c, line, PrivState::M, kNoLabel, true, req.handler,
+                res.latency);
+        break;
+      }
+      case DirState::U:
+        assert(!req.handler && "handlers must not touch U lines");
+        reduceLine(req, e, res, true, kNoLabel);
+        break;
+    }
+}
+
+void
+MemorySystem::handleGETU(const Access &req, L3Line *e, AccessResult &res)
+{
+    const Addr line = e->line;
+    const CoreId c = req.core;
+    const Label l = req.label;
+    PerCore &pc = *cores_[c];
+
+    switch (e->dir) {
+      case DirState::NonCached:
+        // Case 1: no other private cache has the line; the directory
+        // serves the data, which the requester absorbs into its U copy.
+        pc.uCopies[line] = memory_.readLine(line);
+        e->dir = DirState::U;
+        e->label = l;
+        e->sharers.resetAll();
+        e->sharers.set(c);
+        setPriv(c, line, PrivState::U, l, false, false, res.latency);
+        break;
+      case DirState::S: {
+        // Case 2: invalidate read-only sharers, then serve the data.
+        bool nacked = false;
+        Cycle max_leg = 0;
+        std::vector<CoreId> sharers;
+        e->sharers.forEach([&](CoreId s) {
+            if (s != c)
+                sharers.push_back(s);
+        });
+        for (CoreId s : sharers) {
+            if (!battle(req, s, line, InvalKind::ForLabeled, res)) {
+                nacked = true;
+                continue;
+            }
+            dropPriv(s, line);
+            e->sharers.clear(s);
+            stats_.invalidations++;
+            max_leg = std::max(max_leg, noc_.coreToCore(s, c));
+        }
+        res.latency += max_leg;
+        if (nacked)
+            return;
+        pc.uCopies[line] = memory_.readLine(line);
+        e->dir = DirState::U;
+        e->label = l;
+        e->sharers.resetAll();
+        e->sharers.set(c);
+        setPriv(c, line, PrivState::U, l, false, false, res.latency);
+        break;
+      }
+      case DirState::M: {
+        // Case 5: downgrade the exclusive owner to U; it retains the
+        // data, the requester initializes to the identity (Fig. 4b).
+        const CoreId owner = e->sharers.first();
+        assert(owner != c && "exclusive holder would have hit locally");
+        if (!battle(req, owner, line, InvalKind::ForLabeled, res))
+            return;
+        cores_[owner]->uCopies[line] = memory_.readLine(line);
+        if (PrivLine *oe1 = findL1(owner, line)) {
+            oe1->state = PrivState::U;
+            oe1->label = l;
+            oe1->dirty = false;
+        }
+        if (PrivLine *oe2 = findL2(owner, line)) {
+            oe2->state = PrivState::U;
+            oe2->label = l;
+            oe2->dirty = false;
+        }
+        stats_.downgrades++;
+        res.latency += noc_.coreToBank(owner, cfg_.lineBank(line));
+        pc.uCopies[line] = labels_.get(l).identity;
+        e->dir = DirState::U;
+        e->label = l;
+        e->sharers.set(c);
+        setPriv(c, line, PrivState::U, l, false, false, res.latency);
+        break;
+      }
+      case DirState::U:
+        if (e->label == l) {
+            // Case 4: same label; grant U without serving data.
+            assert(!e->sharers.test(c) && "sharer would have hit locally");
+            pc.uCopies[line] = labels_.get(l).identity;
+            e->sharers.set(c);
+            setPriv(c, line, PrivState::U, l, false, false, res.latency);
+        } else {
+            // Case 3: different label; reduce, then re-enter U relabeled.
+            reduceLine(req, e, res, false, l);
+        }
+        break;
+    }
+}
+
+void
+MemorySystem::reduceLine(const Access &req, L3Line *e, AccessResult &res,
+                         bool to_m, Label new_label)
+{
+    assert(!req.handler);
+    const Addr line = e->line;
+    const CoreId c = req.core;
+    const Label old_label = e->label;
+    const LabelInfo &li = labels_.get(old_label);
+    PerCore &pc = *cores_[c];
+
+    // Unlabeled access to our own speculatively-modified labeled data
+    // while others share it: abort and retry with labeled operations
+    // demoted to conventional ones (Sec. III-B4).
+    if (to_m && e->sharers.test(c) && e->sharers.count() > 1 && req.isTx &&
+        htm_ && htm_->specModified(c, line)) {
+        res.selfDemote = true;
+        res.cause = AbortCause::SelfDemotion;
+        return;
+    }
+
+    LineData acc{};
+    bool have = false;
+    if (e->sharers.test(c)) {
+        acc = pc.uCopies[line];
+        have = true;
+    }
+
+    bool nacked = false;
+    Cycle max_leg = 0;
+    HandlerCtx hctx(*this, c, res.latency);
+    std::vector<CoreId> others;
+    e->sharers.forEach([&](CoreId s) {
+        if (s != c)
+            others.push_back(s);
+    });
+    for (CoreId s : others) {
+        if (!battle(req, s, line, InvalKind::ForReduction, res)) {
+            nacked = true;
+            continue;
+        }
+        const LineData fwd = cores_[s]->uCopies[line];
+        if (!have) {
+            // The requester transitions to U on the first forwarded line.
+            acc = fwd;
+            have = true;
+        } else {
+            li.reduce(hctx, acc, fwd);
+            res.latency += cfg_.reductionFixedCost;
+            stats_.reductionLinesMerged++;
+        }
+        max_leg = std::max(max_leg, noc_.coreToCore(s, c));
+        removeUSharer(e, s);
+        stats_.invalidations++;
+    }
+    res.latency += max_leg;
+    stats_.reductions++;
+
+    if (nacked) {
+        // NACKed reduction (Sec. III-B4): the requester keeps what it
+        // merged, in U with the old label, and aborts afterwards.
+        if (have) {
+            pc.uCopies[line] = acc;
+            e->sharers.set(c);
+            setPriv(c, line, PrivState::U, old_label, false, false,
+                    res.latency);
+        }
+        return;
+    }
+
+    assert(have && "a directory-U line must have at least one sharer");
+    if (to_m) {
+        pc.uCopies.erase(line);
+        memory_.writeLine(line, acc);
+        e->dir = DirState::M;
+        e->label = kNoLabel;
+        e->sharers.resetAll();
+        e->sharers.set(c);
+        setPriv(c, line, PrivState::M, kNoLabel, true, false, res.latency);
+    } else {
+        pc.uCopies[line] = acc;
+        e->dir = DirState::U;
+        e->label = new_label;
+        e->sharers.resetAll();
+        e->sharers.set(c);
+        setPriv(c, line, PrivState::U, new_label, false, false,
+                res.latency);
+    }
+}
+
+void
+MemorySystem::handleGather(const Access &req, L3Line *e, AccessResult &res)
+{
+    const Addr line = e->line;
+    const CoreId c = req.core;
+    // A gather needs the line in U at the requester first (Sec. IV). The
+    // requester may have lost U between its labeled access and the
+    // gather; re-acquire it with the GETU flow.
+    if (e->dir != DirState::U || e->label != req.label ||
+        !e->sharers.test(c)) {
+        handleGETU(req, e, res);
+        if (res.mustAbort())
+            return;
+        e = l3_.lookup(line);
+        assert(e && e->dir == DirState::U && e->sharers.test(c));
+    }
+    const LabelInfo &li = labels_.get(req.label);
+    assert(li.split && "gather on a label without a splitter");
+    stats_.gathers++;
+
+    // Refresh the requester's private entries up front: under cache
+    // pressure the line may have fallen back to L2-only, and every exit
+    // path below must leave it in the L1 for speculative tracking.
+    setPriv(c, line, PrivState::U, req.label, false, false, res.latency);
+
+    const uint32_t num_sharers = e->sharers.count();
+    if (num_sharers <= 1)
+        return; // nothing to gather
+
+    PerCore &pc = *cores_[c];
+    HandlerCtx hctx(*this, c, res.latency);
+    Cycle max_leg = 0;
+    std::vector<CoreId> others;
+    e->sharers.forEach([&](CoreId s) {
+        if (s != c)
+            others.push_back(s);
+    });
+    // Subset gathers (paper future work, Sec. IV): query only the N
+    // sharers nearest the requester on the mesh.
+    if (cfg_.gatherFanoutLimit != 0 &&
+        others.size() > cfg_.gatherFanoutLimit) {
+        std::sort(others.begin(), others.end(),
+                  [&](CoreId a, CoreId b) {
+                      const Cycle la = noc_.coreToCore(a, c);
+                      const Cycle lb = noc_.coreToCore(b, c);
+                      return la != lb ? la < lb : a < b;
+                  });
+        others.resize(cfg_.gatherFanoutLimit);
+    }
+    for (CoreId s : others) {
+        // Sharers with nothing to donate are skipped entirely: a no-op
+        // split leaves their line unchanged, so it cannot invalidate
+        // anything a transaction observed — no conflict, no splitter
+        // run (label.h, SplitProbeFn).
+        if (li.splitProbe &&
+            !li.splitProbe(cores_[s]->uCopies[line], num_sharers)) {
+            continue;
+        }
+        if (!battle(req, s, line, InvalKind::ForSplit, res))
+            continue; // NACKed; requester aborts after merging the rest
+        LineData out = li.identity;
+        li.split(hctx, cores_[s]->uCopies[line], out, num_sharers);
+        stats_.splits++;
+        li.reduce(hctx, pc.uCopies[line], out);
+        res.latency += cfg_.reductionFixedCost;
+        max_leg = std::max(max_leg, 2 * noc_.coreToCore(s, c));
+    }
+    res.latency += max_leg;
+    // Refresh the requester's private entries (it may only hold the line
+    // in its L2 by now); speculative bits are preserved.
+    setPriv(c, line, PrivState::U, req.label, false, false, res.latency);
+}
+
+// ---------------------------------------------------------------------
+// Top-level access
+// ---------------------------------------------------------------------
+
+AccessResult
+MemorySystem::access(const Access &req)
+{
+    const Addr line = lineAddr(req.addr);
+    assert(lineOffset(req.addr) + req.size <= kLineSize &&
+           "accesses must not straddle cache lines");
+    assert(!(req.handler &&
+             (req.op != MemOp::Load && req.op != MemOp::Store)));
+
+    AccessResult res;
+    res.latency = cfg_.l1Latency;
+    PerCore &pc = *cores_[req.core];
+
+    // L1.
+    if (PrivLine *e1 = pc.l1.lookup(line)) {
+        if (satisfiesLocally(*e1, req.op, req.label)) {
+            pc.l1.touch(e1);
+            if (req.op == MemOp::Store || req.op == MemOp::LabeledStore) {
+                if (e1->state == PrivState::E)
+                    e1->state = PrivState::M;
+                if (e1->state == PrivState::M)
+                    e1->dirty = true;
+                if (PrivLine *e2 = pc.l2.lookup(line)) {
+                    if (e2->state == PrivState::E)
+                        e2->state = PrivState::M;
+                    e2->dirty = e1->dirty || e2->dirty;
+                }
+            }
+            stats_.l1Hits++;
+            if (req.isTx && !req.handler)
+                markSpec(req, line);
+            return res;
+        }
+    }
+    stats_.l1Misses++;
+    res.latency += cfg_.l2Latency;
+
+    // L2.
+    if (PrivLine *e2 = pc.l2.lookup(line)) {
+        if (satisfiesLocally(*e2, req.op, req.label)) {
+            pc.l2.touch(e2);
+            stats_.l2Hits++;
+            PrivState state = e2->state;
+            if (req.op == MemOp::Store || req.op == MemOp::LabeledStore) {
+                if (state == PrivState::E)
+                    state = PrivState::M;
+            }
+            const bool dirty =
+                e2->dirty || ((req.op == MemOp::Store ||
+                               req.op == MemOp::LabeledStore) &&
+                              state == PrivState::M);
+            setPriv(req.core, line, state, e2->label, dirty, req.handler,
+                    res.latency);
+            if (req.isTx && !req.handler)
+                markSpec(req, line);
+            return res;
+        }
+    }
+    stats_.l2Misses++;
+
+    // Directory (L3 bank).
+    const uint32_t bank = cfg_.lineBank(line);
+    res.latency +=
+        2 * noc_.coreToBank(req.core, bank) + cfg_.l3BankLatency;
+    GetType get_type = GetType::GETS;
+    switch (req.op) {
+      case MemOp::Load:
+        get_type = GetType::GETS;
+        break;
+      case MemOp::Store:
+        get_type = GetType::GETX;
+        break;
+      case MemOp::LabeledLoad:
+      case MemOp::LabeledStore:
+      case MemOp::Gather:
+        get_type = GetType::GETU;
+        break;
+    }
+    stats_.l3Gets[size_t(get_type)]++;
+
+    L3Line *e = getL3(req, line, res.latency);
+    switch (req.op) {
+      case MemOp::Load:
+        handleGETS(req, e, res);
+        break;
+      case MemOp::Store:
+        handleGETX(req, e, res);
+        break;
+      case MemOp::LabeledLoad:
+      case MemOp::LabeledStore:
+        assert(!req.handler);
+        handleGETU(req, e, res);
+        break;
+      case MemOp::Gather:
+        assert(!req.handler);
+        handleGather(req, e, res);
+        break;
+    }
+
+    if (req.isTx && !req.handler && !res.mustAbort())
+        markSpec(req, line);
+    return res;
+}
+
+} // namespace commtm

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Cache-line metadata: private-cache entries, sharer sets, and the L3
+ * entries that embed the in-cache directory.
+ */
+
+#ifndef COMMTM_MEM_LINE_H
+#define COMMTM_MEM_LINE_H
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.h"
+
+namespace commtm {
+
+/** Coherence state of a line in a private (L1/L2) cache. */
+enum class PrivState : uint8_t {
+    I, //!< invalid
+    S, //!< shared, read-only
+    E, //!< exclusive, clean (MESI)
+    M, //!< modified
+    U, //!< user-defined reducible (CommTM)
+};
+
+const char *privStateName(PrivState state);
+
+/** Entry of a private L1/L2 tag array. */
+struct PrivLine {
+    Addr line = 0;
+    bool valid = false;
+    uint64_t lru = 0;
+
+    PrivState state = PrivState::I;
+    Label label = kNoLabel; //!< meaningful when state == U
+    bool dirty = false;
+    /**
+     * Speculative-access bits (L1 only; Fig. 5). Whether they denote the
+     * read/write set or the labeled set is inferred from the line state:
+     * state U => labeled set.
+     */
+    bool specRead = false;
+    bool specWrite = false;
+
+    bool spec() const { return specRead || specWrite; }
+
+    void
+    reset()
+    {
+        state = PrivState::I;
+        label = kNoLabel;
+        dirty = false;
+        specRead = false;
+        specWrite = false;
+    }
+};
+
+/** Bitmask of up-to-128 sharer cores. */
+class Sharers
+{
+  public:
+    void set(CoreId c) { word(c) |= bit(c); }
+    void clear(CoreId c) { word(c) &= ~bit(c); }
+    bool test(CoreId c) const { return words_[c >> 6] & bit(c); }
+    bool any() const { return words_[0] || words_[1]; }
+    void resetAll() { words_[0] = words_[1] = 0; }
+
+    uint32_t
+    count() const
+    {
+        return __builtin_popcountll(words_[0]) +
+               __builtin_popcountll(words_[1]);
+    }
+
+    /** True iff @p c is the only sharer. */
+    bool
+    only(CoreId c) const
+    {
+        return test(c) && count() == 1;
+    }
+
+    /** Lowest-numbered sharer; only valid when any(). */
+    CoreId
+    first() const
+    {
+        assert(any());
+        if (words_[0])
+            return __builtin_ctzll(words_[0]);
+        return 64 + __builtin_ctzll(words_[1]);
+    }
+
+    /** Invoke @p fn for every sharer, in increasing core order. */
+    void
+    forEach(const std::function<void(CoreId)> &fn) const
+    {
+        for (int w = 0; w < 2; w++) {
+            uint64_t bits = words_[w];
+            while (bits) {
+                const int b = __builtin_ctzll(bits);
+                fn(CoreId(w * 64 + b));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /** Return the sharers as a small vector (stable snapshot). */
+    std::array<uint64_t, 2> raw() const { return words_; }
+
+  private:
+    uint64_t &word(CoreId c) { return words_[c >> 6]; }
+    uint64_t bit(CoreId c) const { return 1ull << (c & 63); }
+
+    std::array<uint64_t, 2> words_{};
+};
+
+/** Global (directory) view of a line's state. */
+enum class DirState : uint8_t {
+    NonCached, //!< present in L3 (or memory) only; no private copies
+    S,         //!< one or more read-only private sharers
+    M,         //!< one exclusive private owner (E or M locally)
+    U,         //!< one or more reducible private sharers (CommTM)
+};
+
+const char *dirStateName(DirState state);
+
+/** Entry of the shared L3, which embeds the in-cache directory. */
+struct L3Line {
+    Addr line = 0;
+    bool valid = false;
+    uint64_t lru = 0;
+
+    DirState dir = DirState::NonCached;
+    Sharers sharers;
+    Label label = kNoLabel; //!< meaningful when dir == U
+
+    void
+    reset()
+    {
+        dir = DirState::NonCached;
+        sharers.resetAll();
+        label = kNoLabel;
+    }
+};
+
+} // namespace commtm
+
+#endif // COMMTM_MEM_LINE_H

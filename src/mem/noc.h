@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Latency model of the on-chip interconnect: a meshDim x meshDim mesh of
+ * tiles with 2-cycle routers and 1-cycle links (Table I). CommTM adds a
+ * dedicated virtual network for forwarded U-state data (Sec. III-B4);
+ * virtual networks share physical links, so the latency model is common.
+ */
+
+#ifndef COMMTM_MEM_NOC_H
+#define COMMTM_MEM_NOC_H
+
+#include <cstdlib>
+
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace commtm {
+
+class NocModel
+{
+  public:
+    explicit NocModel(const MachineConfig &cfg) : cfg_(cfg) {}
+
+    /** Manhattan hop count between two tiles of the mesh. */
+    uint32_t
+    hops(uint32_t tile_a, uint32_t tile_b) const
+    {
+        const int ax = tile_a % cfg_.meshDim, ay = tile_a / cfg_.meshDim;
+        const int bx = tile_b % cfg_.meshDim, by = tile_b / cfg_.meshDim;
+        return std::abs(ax - bx) + std::abs(ay - by);
+    }
+
+    /** One-way message latency between two tiles. */
+    Cycle
+    latency(uint32_t tile_a, uint32_t tile_b) const
+    {
+        const uint32_t h = hops(tile_a, tile_b);
+        // Each hop crosses a router and a link; injection pays one router.
+        return cfg_.routerLatency +
+               h * (cfg_.routerLatency + cfg_.linkLatency);
+    }
+
+    /** Core-to-L3-bank one-way latency. */
+    Cycle
+    coreToBank(CoreId core, uint32_t bank) const
+    {
+        return latency(cfg_.coreTile(core), bank % cfg_.numTiles);
+    }
+
+    /** Core-to-core one-way latency (data forwards, invalidations). */
+    Cycle
+    coreToCore(CoreId a, CoreId b) const
+    {
+        return latency(cfg_.coreTile(a), cfg_.coreTile(b));
+    }
+
+  private:
+    const MachineConfig &cfg_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_MEM_NOC_H

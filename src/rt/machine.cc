@@ -1,0 +1,220 @@
+#include "rt/machine.h"
+
+#include <algorithm>
+
+namespace commtm {
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), labels_(cfg.hwLabels)
+{
+    mem_ = std::make_unique<MemorySystem>(cfg_, memory_, labels_,
+                                          machineStats_, rng_);
+    htm_ = std::make_unique<HtmManager>(cfg_, *mem_, memory_);
+}
+
+Machine::~Machine() = default;
+
+ThreadContext &
+Machine::addThread(ThreadFn fn)
+{
+    assert(!running_);
+    assert(threads_.size() < cfg_.numCores &&
+           "more simulated threads than cores");
+    const CoreId core = CoreId(threads_.size());
+    SimThread st;
+    st.ctx = std::make_unique<ThreadContext>(
+        *this, core, cfg_.seed ^ (0x1234567ull * (core + 1)));
+    ThreadContext *ctx = st.ctx.get();
+    st.fiber = std::make_unique<Fiber>([this, ctx, fn = std::move(fn)]() {
+        fn(*ctx);
+        ctx->finished_ = true;
+    });
+    ctx->fiber_ = st.fiber.get();
+    threads_.push_back(std::move(st));
+    return *ctx;
+}
+
+uint32_t
+Machine::liveThreads() const
+{
+    uint32_t live = 0;
+    for (const auto &t : threads_) {
+        if (!t.ctx->finished_)
+            live++;
+    }
+    return live;
+}
+
+Cycle
+Machine::othersMin(const ThreadContext *self) const
+{
+    Cycle min = kInfinity;
+    for (const auto &t : threads_) {
+        const ThreadContext *c = t.ctx.get();
+        if (c == self || c->finished_ || c->blocked_)
+            continue;
+        min = std::min(min, c->nextCycle_);
+    }
+    return min;
+}
+
+void
+Machine::run()
+{
+    assert(!threads_.empty());
+    running_ = true;
+    for (;;) {
+        // Resume the runnable thread with the smallest next-ready cycle
+        // (ties broken by core id for determinism).
+        ThreadContext *best = nullptr;
+        for (const auto &t : threads_) {
+            ThreadContext *c = t.ctx.get();
+            if (c->finished_ || c->blocked_)
+                continue;
+            if (!best || c->nextCycle_ < best->nextCycle_)
+                best = c;
+        }
+        if (!best) {
+            assert(liveThreads() == 0 &&
+                   "deadlock: all live threads blocked on a barrier");
+            break;
+        }
+        yieldThreshold_ = othersMin(best);
+        if (yieldThreshold_ != kInfinity)
+            yieldThreshold_ += cfg_.schedQuantum;
+        best->fiber_->resume();
+        if (best->fiber_->finished()) {
+            best->finished_ = true;
+            // A finishing thread may make a pending barrier releasable.
+            checkBarrierRelease();
+        }
+    }
+    running_ = false;
+}
+
+void
+Machine::barrierArrive(ThreadContext &t)
+{
+    assert(!t.inTx_ && "barriers inside transactions would deadlock");
+    barrier_.waiting++;
+    barrier_.maxCycle = std::max(barrier_.maxCycle, t.nextCycle_);
+    const uint64_t my_epoch = barrier_.epoch;
+    t.blocked_ = true;
+    checkBarrierRelease();
+    while (barrier_.epoch == my_epoch) {
+        assert(t.blocked_);
+        t.fiber_->yield();
+    }
+    assert(!t.blocked_);
+}
+
+void
+Machine::checkBarrierRelease()
+{
+    if (barrier_.waiting == 0)
+        return;
+    // Count live threads that have not yet arrived.
+    uint32_t pending = 0;
+    for (const auto &t : threads_) {
+        if (!t.ctx->finished_ && !t.ctx->blocked_)
+            pending++;
+    }
+    if (pending > 0)
+        return;
+    // Everyone alive has arrived: release.
+    const Cycle release = barrier_.maxCycle + 2;
+    barrier_.epoch++;
+    barrier_.waiting = 0;
+    barrier_.maxCycle = 0;
+    for (const auto &t : threads_) {
+        if (t.ctx->blocked_) {
+            t.ctx->blocked_ = false;
+            t.ctx->nextCycle_ = release;
+        }
+    }
+}
+
+StatsSnapshot
+Machine::stats() const
+{
+    StatsSnapshot snap;
+    snap.threads.reserve(threads_.size());
+    for (const auto &t : threads_)
+        snap.threads.push_back(t.ctx->stats);
+    snap.machine = machineStats_;
+    return snap;
+}
+
+void
+Machine::resetStats()
+{
+    for (auto &t : threads_)
+        t.ctx->stats = ThreadStats{};
+    machineStats_ = MachineStats{};
+}
+
+// ---------------------------------------------------------------------
+// ThreadContext out-of-line members
+// ---------------------------------------------------------------------
+
+void
+ThreadContext::txRun(const std::function<void()> &body)
+{
+    if (inTx_) {
+        // Closed flat nesting: the inner transaction is subsumed.
+        body();
+        return;
+    }
+    HtmManager &htm = machine_.htm();
+    for (;;) {
+        htm.beginAttempt(core_);
+        stats.txStarted++;
+        inTx_ = true;
+        txAcc_ = 0;
+        bool aborted = false;
+        AbortCause cause = AbortCause::Explicit;
+        bool demote = false;
+        try {
+            advance(machine_.config().txBeginCost);
+            body();
+            checkDoomed();
+            advance(machine_.config().txCommitCost);
+            advance(htm.commit(core_)); // lazy write publication
+            stats.txCommitted++;
+            stats.txCommittedCycles += txAcc_;
+            txAcc_ = 0;
+            inTx_ = false;
+            htm.finish(core_);
+            return;
+        } catch (const AbortException &e) {
+            // Copy the fields and leave the catch block before doing
+            // anything that can switch fibers: the C++ exception state
+            // is per host thread, shared by all fibers, so a live
+            // exception must never be suspended across a yield.
+            aborted = true;
+            cause = e.cause;
+            demote = e.demoteLabeled;
+        }
+        assert(aborted);
+        (void)aborted;
+        const Cycle backoff = htm.abortAttempt(core_, cause, rng_);
+        if (demote)
+            htm.setDemoted(core_);
+        advance(backoff); // stall attributed to the wasted attempt
+        stats.txAborted++;
+        stats.abortsByCause[size_t(cause)]++;
+        stats.txAbortedCycles += txAcc_;
+        stats.wastedByCause[size_t(wasteBucket(cause))] += txAcc_;
+        txAcc_ = 0;
+        inTx_ = false;
+        // retry
+    }
+}
+
+void
+ThreadContext::barrier()
+{
+    machine_.barrierArrive(*this);
+}
+
+} // namespace commtm

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * The simulated machine and its per-thread programming interface.
+ *
+ * Machine builds the simulated chip (memory system + HTM) and runs the
+ * simulated threads, each on a fiber, always resuming the thread with
+ * the smallest next-ready cycle (within a small scheduling quantum, like
+ * zsim's bound phases). ThreadContext is the "ISA" workloads program
+ * against: conventional and labeled loads/stores, load_gather, txRun
+ * (tx_begin/tx_end with retry and backoff), compute, and barriers.
+ */
+
+#ifndef COMMTM_RT_MACHINE_H
+#define COMMTM_RT_MACHINE_H
+
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "commtm/label.h"
+#include "htm/htm.h"
+#include "mem/coherence.h"
+#include "sim/config.h"
+#include "sim/fiber.h"
+#include "sim/memory.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace commtm {
+
+class Machine;
+
+/**
+ * Execution context of one simulated hardware thread. Workload code
+ * receives a ThreadContext& and uses it for every interaction with the
+ * simulated machine.
+ */
+class ThreadContext
+{
+  public:
+    ThreadContext(Machine &machine, CoreId core, uint64_t seed)
+        : machine_(machine), core_(core), rng_(seed)
+    {
+    }
+
+    CoreId id() const { return core_; }
+    Cycle now() const { return nextCycle_; }
+    Machine &machine() { return machine_; }
+    Rng &rng() { return rng_; }
+
+    /** Charge @p instrs cycles of computation (IPC-1 cores). */
+    void compute(uint64_t instrs);
+
+    /** Conventional load/store of a small scalar. */
+    template <typename T> T read(Addr addr);
+    template <typename T> void write(Addr addr, const T &value);
+
+    /** Block (vector-style) access: one memory operation per line
+     *  touched. For bulk reads/writes of arrays (e.g., feature
+     *  vectors); same coherence/conflict semantics as scalar ops. */
+    void readBytes(Addr addr, void *out, size_t size);
+    void writeBytes(Addr addr, const void *src, size_t size);
+
+    /** Labeled load/store (Sec. III-A). */
+    template <typename T> T readLabeled(Addr addr, Label label);
+    template <typename T>
+    void writeLabeled(Addr addr, Label label, const T &value);
+
+    /** load_gather (Sec. IV): redistribute partial updates, then read. */
+    template <typename T> T readGather(Addr addr, Label label);
+
+    /**
+     * Run @p body as a transaction: begin, execute, commit; on abort,
+     * back off and retry (the timestamped conflict-resolution protocol
+     * makes a software fallback unnecessary, Sec. V). Nested calls
+     * execute flat (closed nesting).
+     */
+    void txRun(const std::function<void()> &body);
+
+    bool inTx() const { return inTx_; }
+
+    /** Wait until every live simulated thread reaches the barrier. */
+    void barrier();
+
+    /** This thread's statistics (cycle breakdowns, commits, aborts). */
+    ThreadStats stats;
+
+  private:
+    friend class Machine;
+
+    /** Advance simulated time, attribute cycles, maybe yield. */
+    void advance(Cycle cycles);
+    /** Unwind if a remote conflict doomed our transaction. */
+    void checkDoomed();
+    /** Map a (possibly labeled) op through the system mode and label
+     *  virtualization: baseline/demoted ops become conventional. */
+    MemOp effectiveOp(MemOp op, Label &label) const;
+
+    AccessResult issue(Addr addr, uint32_t size, MemOp op, Label label);
+    void functionalRead(Addr addr, void *out, size_t size, bool labeled);
+    void functionalWrite(Addr addr, const void *src, size_t size,
+                         bool labeled);
+
+    Machine &machine_;
+    CoreId core_;
+    Rng rng_;
+
+    Fiber *fiber_ = nullptr;
+    Cycle nextCycle_ = 0;
+    bool finished_ = false;
+    bool blocked_ = false;
+
+    bool inTx_ = false;
+    Cycle txAcc_ = 0; //!< cycles accumulated by the current attempt
+};
+
+/**
+ * The simulated chip plus the threads running on it. Typical use:
+ *
+ *   Machine m(cfg);
+ *   Label add = m.labels().define(labels::makeAdd<int64_t>("ADD"));
+ *   Addr counter = m.allocator().allocLines(1);
+ *   for (int t = 0; t < n; t++)
+ *       m.addThread([&](ThreadContext &ctx) { ... });
+ *   m.run();
+ *   StatsSnapshot s = m.stats();
+ */
+class Machine
+{
+  public:
+    explicit Machine(MachineConfig cfg);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const MachineConfig &config() const { return cfg_; }
+    LabelRegistry &labels() { return labels_; }
+    SimMemory &memory() { return memory_; }
+    SimAllocator &allocator() { return alloc_; }
+    MemorySystem &memSys() { return *mem_; }
+    HtmManager &htm() { return *htm_; }
+    Rng &rng() { return rng_; }
+
+    using ThreadFn = std::function<void(ThreadContext &)>;
+
+    /** Add a simulated thread; it runs when run() is called. Threads
+     *  are assigned cores in creation order. */
+    ThreadContext &addThread(ThreadFn fn);
+
+    /** Run all threads to completion. */
+    void run();
+
+    /** Snapshot of per-thread and machine-wide statistics. */
+    StatsSnapshot stats() const;
+
+    /** Zero all statistics (e.g., after a warm-up phase). */
+    void resetStats();
+
+    /** Machine-wide statistics (coherence events). */
+    MachineStats &machineStats() { return machineStats_; }
+
+  private:
+    friend class ThreadContext;
+
+    static constexpr Cycle kInfinity =
+        std::numeric_limits<Cycle>::max();
+
+    /** Smallest next-ready cycle among runnable threads != @p self. */
+    Cycle othersMin(const ThreadContext *self) const;
+
+    void barrierArrive(ThreadContext &t);
+    void checkBarrierRelease();
+    uint32_t liveThreads() const;
+
+    MachineConfig cfg_;
+    Rng rng_;
+    LabelRegistry labels_;
+    SimMemory memory_;
+    SimAllocator alloc_;
+    MachineStats machineStats_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::unique_ptr<HtmManager> htm_;
+
+    struct SimThread {
+        std::unique_ptr<ThreadContext> ctx;
+        std::unique_ptr<Fiber> fiber;
+    };
+    std::vector<SimThread> threads_;
+    bool running_ = false;
+
+    /** Yield threshold for the running thread (scheduling quantum). */
+    Cycle yieldThreshold_ = kInfinity;
+
+    struct BarrierState {
+        uint64_t epoch = 0;
+        uint32_t waiting = 0;
+        Cycle maxCycle = 0;
+    } barrier_;
+};
+
+// ---------------------------------------------------------------------
+// ThreadContext inline/template implementation
+// ---------------------------------------------------------------------
+
+inline void
+ThreadContext::advance(Cycle cycles)
+{
+    nextCycle_ += cycles;
+    if (inTx_)
+        txAcc_ += cycles;
+    else
+        stats.nonTxCycles += cycles;
+    if (nextCycle_ > machine_.yieldThreshold_ && fiber_)
+        fiber_->yield();
+}
+
+inline void
+ThreadContext::checkDoomed()
+{
+    if (inTx_ && machine_.htm().doomed(core_)) {
+        throw AbortException{machine_.htm().doomCause(core_), false};
+    }
+}
+
+inline void
+ThreadContext::compute(uint64_t instrs)
+{
+    checkDoomed();
+    stats.instrs += instrs;
+    advance(instrs);
+}
+
+inline MemOp
+ThreadContext::effectiveOp(MemOp op, Label &label) const
+{
+    if (op == MemOp::Load || op == MemOp::Store)
+        return op;
+    const MachineConfig &cfg = machine_.config();
+    const bool demote =
+        cfg.mode == SystemMode::BaselineHtm ||
+        !machine_.labels_.inHardware(label) ||
+        (inTx_ && machine_.htm_->demoted(core_));
+    if (demote) {
+        label = kNoLabel;
+        return op == MemOp::LabeledStore ? MemOp::Store : MemOp::Load;
+    }
+    if (op == MemOp::Gather && cfg.mode == SystemMode::CommTmNoGather) {
+        // Without gather support the conditional check falls back to a
+        // conventional load, which triggers a full reduction (Sec. IV).
+        label = kNoLabel;
+        return MemOp::Load;
+    }
+    return op;
+}
+
+inline AccessResult
+ThreadContext::issue(Addr addr, uint32_t size, MemOp op, Label label)
+{
+    checkDoomed();
+    stats.instrs++;
+    if (op == MemOp::LabeledLoad || op == MemOp::LabeledStore ||
+        op == MemOp::Gather) {
+        stats.labeledInstrs++;
+    }
+    Access a;
+    a.core = core_;
+    a.addr = addr;
+    a.size = size;
+    a.op = op;
+    a.label = label;
+    a.isTx = inTx_;
+    a.ts = inTx_ ? machine_.htm().txTs(core_) : 0;
+    if (inTx_ && op == MemOp::Store &&
+        machine_.config().conflictDetection == ConflictDetection::Lazy) {
+        // Lazy mode: transactional stores buffer silently; fetch the
+        // line shared for timing, join the write set for commit-time
+        // arbitration (TCC-style, Sec. III-D).
+        a.op = MemOp::Load;
+        a.lazyWrite = true;
+    }
+    const AccessResult res = machine_.memSys().access(a);
+    advance(res.latency);
+    if (res.mustAbort()) {
+        assert(inTx_);
+        throw AbortException{res.cause, res.selfDemote};
+    }
+    checkDoomed(); // our own access may have doomed us (capacity abort)
+    return res;
+}
+
+inline void
+ThreadContext::functionalRead(Addr addr, void *out, size_t size,
+                              bool labeled)
+{
+    // U-held lines read from the core's reducible copy; everything else
+    // from committed simulated memory; the transaction's own buffered
+    // writes overlay both.
+    const Addr line = lineAddr(addr);
+    if (labeled && machine_.memSys().coreHasU(core_, line)) {
+        const LineData &copy = machine_.memSys().uCopy(core_, line);
+        std::memcpy(out, copy.data() + lineOffset(addr), size);
+    } else {
+        machine_.memory().read(addr, out, size);
+    }
+    if (inTx_)
+        machine_.htm().writeBuffer(core_).overlay(addr, out, size);
+}
+
+inline void
+ThreadContext::functionalWrite(Addr addr, const void *src, size_t size,
+                               bool labeled)
+{
+    if (inTx_) {
+        machine_.htm().writeBuffer(core_).write(addr, src, size);
+        return;
+    }
+    const Addr line = lineAddr(addr);
+    if (labeled && machine_.memSys().coreHasU(core_, line)) {
+        LineData &copy = machine_.memSys().uCopy(core_, line);
+        std::memcpy(copy.data() + lineOffset(addr), src, size);
+    } else {
+        machine_.memory().write(addr, src, size);
+    }
+}
+
+inline void
+ThreadContext::readBytes(Addr addr, void *out, size_t size)
+{
+    auto *dst = static_cast<uint8_t *>(out);
+    while (size > 0) {
+        const size_t chunk =
+            std::min(size, size_t(kLineSize - lineOffset(addr)));
+        issue(addr, uint32_t(chunk), MemOp::Load, kNoLabel);
+        functionalRead(addr, dst, chunk, false);
+        dst += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+inline void
+ThreadContext::writeBytes(Addr addr, const void *src, size_t size)
+{
+    const auto *from = static_cast<const uint8_t *>(src);
+    while (size > 0) {
+        const size_t chunk =
+            std::min(size, size_t(kLineSize - lineOffset(addr)));
+        issue(addr, uint32_t(chunk), MemOp::Store, kNoLabel);
+        functionalWrite(addr, from, chunk, false);
+        from += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+template <typename T>
+T
+ThreadContext::read(Addr addr)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    issue(addr, sizeof(T), MemOp::Load, kNoLabel);
+    T value;
+    functionalRead(addr, &value, sizeof(T), false);
+    return value;
+}
+
+template <typename T>
+void
+ThreadContext::write(Addr addr, const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    issue(addr, sizeof(T), MemOp::Store, kNoLabel);
+    functionalWrite(addr, &value, sizeof(T), false);
+}
+
+template <typename T>
+T
+ThreadContext::readLabeled(Addr addr, Label label)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const MemOp op = effectiveOp(MemOp::LabeledLoad, label);
+    issue(addr, sizeof(T), op, label);
+    T value;
+    functionalRead(addr, &value, sizeof(T), op == MemOp::LabeledLoad);
+    return value;
+}
+
+template <typename T>
+void
+ThreadContext::writeLabeled(Addr addr, Label label, const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const MemOp op = effectiveOp(MemOp::LabeledStore, label);
+    issue(addr, sizeof(T), op, label);
+    functionalWrite(addr, &value, sizeof(T), op == MemOp::LabeledStore);
+}
+
+template <typename T>
+T
+ThreadContext::readGather(Addr addr, Label label)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const MemOp op = effectiveOp(MemOp::Gather, label);
+    issue(addr, sizeof(T), op, label);
+    T value;
+    functionalRead(addr, &value, sizeof(T), op == MemOp::Gather);
+    return value;
+}
+
+} // namespace commtm
+
+#endif // COMMTM_RT_MACHINE_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Simulated machine configuration (paper Table I) and run-mode knobs.
+ */
+
+#ifndef COMMTM_SIM_CONFIG_H
+#define COMMTM_SIM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace commtm {
+
+/** Which HTM system a Machine models. */
+enum class SystemMode {
+    /** Conventional eager-lazy HTM: labeled ops execute as normal ops. */
+    BaselineHtm,
+    /** CommTM: U state, labeled ops, reductions; gathers act as reads. */
+    CommTmNoGather,
+    /** Full CommTM including gather requests (Sec. IV). */
+    CommTm,
+};
+
+/**
+ * When conflicts are detected (Sec. III-D generalization). Eager is the
+ * paper's baseline (LTM/TSX-style, conflicts flagged by coherence at
+ * access time). Lazy is TCC/Bulk-style: transactional stores buffer
+ * silently, and the committing transaction aborts every concurrent
+ * transaction whose read/write set intersects its write set.
+ * U-state interactions (reductions, gathers) are handled immediately in
+ * both (see DESIGN.md Sec. 6).
+ */
+enum class ConflictDetection {
+    Eager,
+    Lazy,
+};
+
+/** How conflicts between two transactions are resolved. */
+enum class ConflictPolicy {
+    /** Paper default: earlier timestamp wins, younger aborts (Sec. III-B1). */
+    TimestampOlderWins,
+    /** Ablation: the requester always wins; the holder aborts. */
+    RequesterWins,
+};
+
+/**
+ * Configuration of the simulated chip. Defaults reproduce Table I:
+ * 128 cores in 16 tiles, 32KB L1D, 128KB L2, 64MB 16-bank L3, 4x4 mesh.
+ */
+struct MachineConfig {
+    uint32_t numCores = 128;
+    uint32_t numTiles = 16;          //!< cores are distributed over tiles
+    uint32_t meshDim = 4;            //!< tiles arranged as meshDim x meshDim
+
+    // L1 data cache: 32KB, 8-way, private per-core.
+    uint32_t l1SizeKB = 32;
+    uint32_t l1Ways = 8;
+    Cycle l1Latency = 1;
+
+    // L2: 128KB, 8-way, private per-core, inclusive of L1.
+    uint32_t l2SizeKB = 128;
+    uint32_t l2Ways = 8;
+    Cycle l2Latency = 6;
+
+    // L3: 64MB, 16 banks, 16-way, shared, inclusive, in-cache directory.
+    uint32_t l3SizeKB = 64 * 1024;
+    uint32_t l3Ways = 16;
+    Cycle l3BankLatency = 15;
+
+    // NoC: 4x4 mesh, 2-cycle routers, 1-cycle links (per hop).
+    Cycle routerLatency = 2;
+    Cycle linkLatency = 1;
+
+    // Main memory.
+    Cycle memLatency = 136;
+    uint32_t memControllers = 4;
+
+    // HTM.
+    ConflictDetection conflictDetection = ConflictDetection::Eager;
+    ConflictPolicy conflictPolicy = ConflictPolicy::TimestampOlderWins;
+    /** Randomized-exponential backoff. Windows are kept close to the
+     *  transaction service time: timestamp conflict resolution already
+     *  guarantees the oldest transaction progresses, so backoff only
+     *  needs to thin retry traffic, and oversized windows leave the
+     *  serialized baseline idle between commits. */
+    Cycle backoffBase = 16;
+    uint32_t backoffMaxExp = 5;
+    Cycle txBeginCost = 4;           //!< tx_begin/tx_end instruction cost
+    Cycle txCommitCost = 4;
+    Cycle abortCost = 12;            //!< pipeline flush + register restore
+
+    // CommTM.
+    SystemMode mode = SystemMode::CommTm;
+    uint32_t hwLabels = kMaxHwLabels;
+    /** Extra per-line cycles charged to a reduction/split handler run,
+     *  on top of the handler's own simulated memory accesses. */
+    Cycle reductionFixedCost = 8;
+
+    /**
+     * Maximum number of sharers a gather queries (0 = all, the paper's
+     * design). The paper's future-work section suggests querying a
+     * subset of sharers; with a limit, the directory forwards split
+     * requests to the N donors nearest the requester on the mesh,
+     * trading gather yield for latency and fewer split conflicts.
+     */
+    uint32_t gatherFanoutLimit = 0;
+
+    /** Interleaving granularity: a running thread yields once it gets
+     *  this many cycles ahead of the next-ready thread (zsim-style
+     *  bound phase; see DESIGN.md Sec. 2.1). */
+    Cycle schedQuantum = 100;
+
+    uint64_t seed = 0x5eed;
+
+    /** Tile that hosts core @p c (cores striped across tiles). */
+    uint32_t coreTile(CoreId c) const { return c % numTiles; }
+    /** L3 bank holding line @p line (address-interleaved). */
+    uint32_t lineBank(Addr line) const { return line % numTiles; }
+
+    /** Number of lines in a per-core L1. */
+    uint32_t l1Lines() const { return l1SizeKB * 1024 / kLineSize; }
+    uint32_t l2Lines() const { return l2SizeKB * 1024 / kLineSize; }
+    uint32_t l3Lines() const { return l3SizeKB * 1024 / kLineSize; }
+
+    /** Human-readable one-line summary of the mode. */
+    std::string modeName() const;
+};
+
+inline std::string
+MachineConfig::modeName() const
+{
+    switch (mode) {
+      case SystemMode::BaselineHtm:   return "Baseline";
+      case SystemMode::CommTmNoGather: return "CommTM w/o gather";
+      case SystemMode::CommTm:        return "CommTM";
+    }
+    return "?";
+}
+
+} // namespace commtm
+
+#endif // COMMTM_SIM_CONFIG_H

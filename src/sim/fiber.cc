@@ -1,0 +1,73 @@
+#include "sim/fiber.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace commtm {
+
+namespace {
+/** Fiber running on this host thread (the simulator is single-host-threaded,
+ *  but thread_local keeps tests that spin up Machines on helper threads
+ *  safe). */
+thread_local Fiber *tlsCurrent = nullptr;
+} // namespace
+
+Fiber::Fiber(EntryFn fn, size_t stack_size)
+    : fn_(std::move(fn)), stack_(new char[stack_size])
+{
+    getcontext(&ctx_);
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stack_size;
+    ctx_.uc_link = &hostCtx_;
+    const auto self = reinterpret_cast<uintptr_t>(this);
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+}
+
+void
+Fiber::trampoline(unsigned hi, unsigned lo)
+{
+    const uintptr_t self =
+        (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
+    reinterpret_cast<Fiber *>(self)->run();
+}
+
+void
+Fiber::run()
+{
+    // Exceptions must not cross the context switch back to the host.
+    try {
+        fn_();
+    } catch (...) {
+        assert(false && "uncaught exception escaped a simulated thread");
+    }
+    finished_ = true;
+    // Returning lets uc_link switch back to hostCtx_.
+}
+
+void
+Fiber::resume()
+{
+    assert(!finished_ && "resuming a finished fiber");
+    Fiber *prev = tlsCurrent;
+    tlsCurrent = this;
+    started_ = true;
+    swapcontext(&hostCtx_, &ctx_);
+    tlsCurrent = prev;
+}
+
+void
+Fiber::yield()
+{
+    assert(tlsCurrent == this && "yield from a fiber that is not running");
+    swapcontext(&ctx_, &hostCtx_);
+}
+
+Fiber *
+Fiber::current()
+{
+    return tlsCurrent;
+}
+
+} // namespace commtm

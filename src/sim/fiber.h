@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cooperative fibers used to run simulated threads.
+ *
+ * Each simulated hardware thread executes its workload on a private
+ * stack; it yields back to the scheduler whenever it touches the
+ * simulated machine (memory access, compute, tx boundary), and the
+ * scheduler resumes whichever thread has the smallest next-ready cycle.
+ */
+
+#ifndef COMMTM_SIM_FIBER_H
+#define COMMTM_SIM_FIBER_H
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace commtm {
+
+/**
+ * A single cooperative fiber. Not thread-safe: all fibers of a Machine
+ * run on one host thread (the simulator is sequential by design).
+ */
+class Fiber
+{
+  public:
+    using EntryFn = std::function<void()>;
+
+    /** Create a fiber that will run @p fn when first resumed. */
+    explicit Fiber(EntryFn fn, size_t stack_size = kDefaultStackSize);
+    ~Fiber() = default;
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Switch from the host (scheduler) context into the fiber. Returns
+     * when the fiber yields or its entry function returns.
+     */
+    void resume();
+
+    /** Switch from inside the fiber back to the host. */
+    void yield();
+
+    /** True once the entry function has returned. */
+    bool finished() const { return finished_; }
+
+    /** The fiber currently executing on this host thread, or nullptr. */
+    static Fiber *current();
+
+    static constexpr size_t kDefaultStackSize = 256 * 1024;
+
+  private:
+    static void trampoline(unsigned hi, unsigned lo);
+    void run();
+
+    EntryFn fn_;
+    std::unique_ptr<char[]> stack_;
+    ucontext_t ctx_{};
+    ucontext_t hostCtx_{};
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_SIM_FIBER_H

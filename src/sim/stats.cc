@@ -1,0 +1,118 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace commtm {
+
+const char *
+abortCauseName(AbortCause cause)
+{
+    switch (cause) {
+      case AbortCause::ReadAfterWrite:     return "ReadAfterWrite";
+      case AbortCause::WriteAfterRead:     return "WriteAfterRead";
+      case AbortCause::GatherAfterLabeled: return "GatherAfterLabeled";
+      case AbortCause::WriteAfterWrite:    return "WriteAfterWrite";
+      case AbortCause::LabeledConflict:    return "LabeledConflict";
+      case AbortCause::Capacity:           return "Capacity";
+      case AbortCause::UEviction:          return "UEviction";
+      case AbortCause::SelfDemotion:       return "SelfDemotion";
+      case AbortCause::Explicit:           return "Explicit";
+      default:                             return "?";
+    }
+}
+
+WasteBucket
+wasteBucket(AbortCause cause)
+{
+    switch (cause) {
+      case AbortCause::ReadAfterWrite:     return WasteBucket::ReadAfterWrite;
+      case AbortCause::WriteAfterRead:     return WasteBucket::WriteAfterRead;
+      case AbortCause::GatherAfterLabeled:
+        return WasteBucket::GatherAfterLabeled;
+      default:                             return WasteBucket::Others;
+    }
+}
+
+const char *
+wasteBucketName(WasteBucket bucket)
+{
+    switch (bucket) {
+      case WasteBucket::ReadAfterWrite:     return "Read after Write";
+      case WasteBucket::WriteAfterRead:     return "Write after Read";
+      case WasteBucket::GatherAfterLabeled:
+        return "Gather after Labeled access";
+      case WasteBucket::Others:             return "Others";
+      default:                              return "?";
+    }
+}
+
+ThreadStats
+StatsSnapshot::aggregateThreads() const
+{
+    ThreadStats sum;
+    for (const auto &t : threads) {
+        sum.nonTxCycles += t.nonTxCycles;
+        sum.txCommittedCycles += t.txCommittedCycles;
+        sum.txAbortedCycles += t.txAbortedCycles;
+        for (size_t i = 0; i < sum.wastedByCause.size(); i++)
+            sum.wastedByCause[i] += t.wastedByCause[i];
+        sum.txStarted += t.txStarted;
+        sum.txCommitted += t.txCommitted;
+        sum.txAborted += t.txAborted;
+        for (size_t i = 0; i < sum.abortsByCause.size(); i++)
+            sum.abortsByCause[i] += t.abortsByCause[i];
+        sum.instrs += t.instrs;
+        sum.labeledInstrs += t.labeledInstrs;
+    }
+    return sum;
+}
+
+Cycle
+StatsSnapshot::runtimeCycles() const
+{
+    Cycle max = 0;
+    for (const auto &t : threads)
+        max = std::max(max, t.totalCycles());
+    return max;
+}
+
+std::string
+StatsSnapshot::report() const
+{
+    const ThreadStats sum = aggregateThreads();
+    std::ostringstream os;
+    os << "runtime cycles: " << runtimeCycles() << "\n"
+       << "core cycles: nonTx=" << sum.nonTxCycles
+       << " txCommitted=" << sum.txCommittedCycles
+       << " txAborted=" << sum.txAbortedCycles << "\n"
+       << "transactions: started=" << sum.txStarted
+       << " committed=" << sum.txCommitted
+       << " aborted=" << sum.txAborted << "\n";
+    os << "aborts by cause:";
+    for (size_t i = 0; i < sum.abortsByCause.size(); i++) {
+        if (sum.abortsByCause[i]) {
+            os << " " << abortCauseName(AbortCause(i)) << "="
+               << sum.abortsByCause[i];
+        }
+    }
+    os << "\nwasted cycles:";
+    for (size_t i = 0; i < sum.wastedByCause.size(); i++) {
+        os << " [" << wasteBucketName(WasteBucket(i)) << "]="
+           << sum.wastedByCause[i];
+    }
+    os << "\nlabeled instr fraction: "
+       << (sum.instrs ? double(sum.labeledInstrs) / double(sum.instrs) : 0.0)
+       << "\n";
+    os << "L3 GETs: GETS=" << machine.l3Gets[size_t(GetType::GETS)]
+       << " GETX=" << machine.l3Gets[size_t(GetType::GETX)]
+       << " GETU=" << machine.l3Gets[size_t(GetType::GETU)] << "\n"
+       << "L1 miss=" << machine.l1Misses << " L2 miss=" << machine.l2Misses
+       << " L3 miss=" << machine.l3Misses << "\n"
+       << "reductions=" << machine.reductions
+       << " gathers=" << machine.gathers << " splits=" << machine.splits
+       << " nacks=" << machine.nacks << "\n";
+    return os.str();
+}
+
+} // namespace commtm

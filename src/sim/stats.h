@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Simulation statistics: everything needed to regenerate the paper's
+ * evaluation figures (cycle breakdowns, wasted-cycle causes, GET-request
+ * breakdowns, labeled-instruction fractions).
+ */
+
+#ifndef COMMTM_SIM_STATS_H
+#define COMMTM_SIM_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace commtm {
+
+/**
+ * Why a transaction aborted. Categories follow Fig. 18: read-after-write
+ * and write-after-read dependence violations, gathers/splits hitting a
+ * labeled set, and everything else (write-write, labeled-set
+ * invalidations by normal requests, capacity/eviction aborts, and
+ * self-demotion per Sec. III-B4).
+ */
+enum class AbortCause : uint8_t {
+    ReadAfterWrite,     //!< GETS hit a transaction's write set
+    WriteAfterRead,     //!< GETX hit a transaction's read set
+    GatherAfterLabeled, //!< gather/split hit a transaction's labeled set
+    WriteAfterWrite,    //!< GETX hit a transaction's write set
+    LabeledConflict,    //!< GETU/reduction hit a read/write/labeled set
+    Capacity,           //!< eviction of a speculatively-accessed L1 line
+    UEviction,          //!< U-line eviction forwarded into a transaction
+    SelfDemotion,       //!< unlabeled access to own spec-modified U line
+    Explicit,           //!< program-requested abort
+    NumCauses,
+};
+
+const char *abortCauseName(AbortCause cause);
+
+/** Fig. 18 buckets. */
+enum class WasteBucket : uint8_t {
+    ReadAfterWrite,
+    WriteAfterRead,
+    GatherAfterLabeled,
+    Others,
+    NumBuckets,
+};
+
+WasteBucket wasteBucket(AbortCause cause);
+const char *wasteBucketName(WasteBucket bucket);
+
+/** Coherence GET request types issued from an L2 to the L3 (Fig. 19). */
+enum class GetType : uint8_t { GETS, GETX, GETU, NumTypes };
+
+/** Per-thread statistics. */
+struct ThreadStats {
+    // Cycle breakdown (Fig. 17).
+    Cycle nonTxCycles = 0;
+    Cycle txCommittedCycles = 0;
+    Cycle txAbortedCycles = 0;
+    // Wasted cycles by cause (Fig. 18).
+    std::array<Cycle, size_t(WasteBucket::NumBuckets)> wastedByCause{};
+
+    // Transaction outcomes.
+    uint64_t txStarted = 0;
+    uint64_t txCommitted = 0;
+    uint64_t txAborted = 0;
+    std::array<uint64_t, size_t(AbortCause::NumCauses)> abortsByCause{};
+
+    // Instruction mix (Sec. VII labeled-instruction fraction).
+    uint64_t instrs = 0;
+    uint64_t labeledInstrs = 0; //!< labeled loads/stores + gathers
+
+    Cycle totalCycles() const
+    {
+        return nonTxCycles + txCommittedCycles + txAbortedCycles;
+    }
+};
+
+/** Machine-wide statistics (coherence and memory-system events). */
+struct MachineStats {
+    // GET requests between the private L2s and the L3 (Fig. 19).
+    std::array<uint64_t, size_t(GetType::NumTypes)> l3Gets{};
+
+    uint64_t l1Hits = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l2Hits = 0;
+    uint64_t l2Misses = 0;
+    uint64_t l3Hits = 0;
+    uint64_t l3Misses = 0;
+
+    uint64_t invalidations = 0;   //!< invalidation messages to private caches
+    uint64_t downgrades = 0;      //!< M->S / M->U downgrades
+    uint64_t nacks = 0;           //!< NACKed invalidations (Fig. 6b)
+    uint64_t reductions = 0;      //!< full reductions (Sec. III-B4)
+    uint64_t reductionLinesMerged = 0;
+    uint64_t gathers = 0;         //!< gather requests (Sec. IV)
+    uint64_t splits = 0;          //!< splitter executions
+    uint64_t uWritebacks = 0;     //!< sole-sharer U evictions
+    uint64_t uForwards = 0;       //!< multi-sharer U eviction forwards
+    uint64_t writebacks = 0;
+
+    uint64_t
+    totalL3Gets() const
+    {
+        uint64_t total = 0;
+        for (auto count : l3Gets) total += count;
+        return total;
+    }
+};
+
+/**
+ * Aggregated view over all threads plus machine counters; what benches
+ * print. Snapshots are cheap to copy.
+ */
+struct StatsSnapshot {
+    std::vector<ThreadStats> threads;
+    MachineStats machine;
+
+    ThreadStats aggregateThreads() const;
+    /** Max over threads of total cycles: the parallel-region runtime. */
+    Cycle runtimeCycles() const;
+
+    /** Multi-line human-readable report. */
+    std::string report() const;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_SIM_STATS_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Integration tests: each full application produces functionally
+ * correct results (validated against host-side references) under the
+ * baseline HTM, CommTM without gathers, and full CommTM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/boruvka.h"
+#include "apps/genome.h"
+#include "apps/kmeans.h"
+#include "apps/ssca2.h"
+#include "apps/vacation.h"
+
+namespace commtm {
+namespace {
+
+MachineConfig
+cfgFor(SystemMode mode, uint32_t cores)
+{
+    MachineConfig cfg;
+    cfg.numCores = cores;
+    cfg.mode = mode;
+    return cfg;
+}
+
+struct Case {
+    SystemMode mode;
+    uint32_t threads;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string name;
+    switch (info.param.mode) {
+      case SystemMode::BaselineHtm:    name = "Baseline"; break;
+      case SystemMode::CommTmNoGather: name = "NoGather"; break;
+      case SystemMode::CommTm:         name = "CommTM"; break;
+    }
+    return name + "_" + std::to_string(info.param.threads) + "t";
+}
+
+class Apps : public ::testing::TestWithParam<Case>
+{
+  protected:
+    MachineConfig
+    machineCfg() const
+    {
+        return cfgFor(GetParam().mode, GetParam().threads);
+    }
+    uint32_t threads() const { return GetParam().threads; }
+};
+
+TEST_P(Apps, BoruvkaMatchesKruskal)
+{
+    BoruvkaConfig cfg;
+    cfg.numVertices = 512;
+    const BoruvkaResult r = runBoruvka(machineCfg(), threads(), cfg);
+    EXPECT_EQ(r.mstWeight, r.referenceWeight);
+    EXPECT_GT(r.rounds, 0u);
+}
+
+TEST_P(Apps, KmeansAssignsEveryPoint)
+{
+    KmeansConfig cfg;
+    cfg.numPoints = 256;
+    cfg.maxIters = 4;
+    const KmeansResult r = runKmeans(machineCfg(), threads(), cfg);
+    EXPECT_TRUE(r.valid(cfg.numPoints));
+    EXPECT_GE(r.iterations, 1u);
+}
+
+TEST_P(Apps, Ssca2BuildsConsistentAdjacency)
+{
+    Ssca2Config cfg;
+    cfg.scale = 8;
+    cfg.edgeFactor = 4;
+    const Ssca2Result r = runSsca2(machineCfg(), threads(), cfg);
+    EXPECT_TRUE(r.valid());
+    EXPECT_GT(r.metadataCount, 0);
+}
+
+TEST_P(Apps, GenomeDeduplicatesAndLinks)
+{
+    GenomeConfig cfg;
+    cfg.genomeLength = 1024;
+    cfg.numSegments = 2048;
+    const GenomeResult r = runGenome(machineCfg(), threads(), cfg);
+    EXPECT_EQ(r.uniqueSegments, r.expectedUnique);
+    EXPECT_EQ(r.linkedSegments, r.expectedLinked);
+    EXPECT_GT(r.tableResizes, 0u); // 2048 draws over 1024 slots resize
+}
+
+TEST_P(Apps, VacationConservesInventory)
+{
+    VacationConfig cfg;
+    cfg.relations = 256;
+    cfg.numTasks = 512;
+    const VacationResult r = runVacation(machineCfg(), threads(), cfg);
+    EXPECT_TRUE(r.valid()) << "sold=" << r.unitsSold
+                           << " finalFree=" << r.finalFree
+                           << " initialFree=" << r.initialFree;
+    EXPECT_GT(r.reservationsMade, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndThreads, Apps,
+    ::testing::Values(Case{SystemMode::BaselineHtm, 1},
+                      Case{SystemMode::BaselineHtm, 8},
+                      Case{SystemMode::CommTmNoGather, 8},
+                      Case{SystemMode::CommTm, 1},
+                      Case{SystemMode::CommTm, 8},
+                      Case{SystemMode::CommTm, 16}),
+    caseName);
+
+} // namespace
+} // namespace commtm

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the set-associative tag array: lookup, LRU
+ * replacement, victim-eligibility predicates, and the deferred-victim
+ * insert contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.h"
+#include "mem/line.h"
+
+namespace commtm {
+namespace {
+
+/** Lines that map to set @p set of an array with @p sets sets. */
+Addr
+lineInSet(uint32_t set, uint32_t sets, uint32_t i)
+{
+    return Addr(set) + Addr(i) * sets;
+}
+
+TEST(CacheArray, MissesOnEmpty)
+{
+    CacheArray<PrivLine> arr(16, 4);
+    EXPECT_EQ(arr.lookup(3), nullptr);
+}
+
+TEST(CacheArray, InsertThenHit)
+{
+    CacheArray<PrivLine> arr(16, 4);
+    auto r = arr.insert(3, nullptr);
+    EXPECT_FALSE(r.evicted);
+    r.entry->state = PrivState::S;
+    ASSERT_NE(arr.lookup(3), nullptr);
+    EXPECT_EQ(arr.lookup(3)->state, PrivState::S);
+}
+
+TEST(CacheArray, EvictsLruWhenSetFull)
+{
+    CacheArray<PrivLine> arr(16, 4); // 4 sets x 4 ways
+    const uint32_t sets = arr.numSets();
+    for (uint32_t i = 0; i < 4; i++)
+        arr.insert(lineInSet(0, sets, i), nullptr);
+    // Touch line 0 so it is MRU; the LRU is line 1.
+    arr.touch(arr.lookup(lineInSet(0, sets, 0)));
+    auto r = arr.insert(lineInSet(0, sets, 4), nullptr);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.victim.line, lineInSet(0, sets, 1));
+    EXPECT_EQ(arr.lookup(lineInSet(0, sets, 1)), nullptr);
+    EXPECT_NE(arr.lookup(lineInSet(0, sets, 0)), nullptr);
+}
+
+TEST(CacheArray, VictimPredicateSkipsIneligible)
+{
+    CacheArray<PrivLine> arr(8, 4); // 2 sets x 4 ways
+    const uint32_t sets = arr.numSets();
+    for (uint32_t i = 0; i < 4; i++) {
+        auto r = arr.insert(lineInSet(0, sets, i), nullptr);
+        r.entry->state = i == 0 ? PrivState::S : PrivState::U;
+    }
+    // Only non-U lines may be evicted: line 0 despite being LRU-oldest
+    // among eligible (it is the only eligible one).
+    auto r = arr.insert(lineInSet(0, sets, 7), [](const PrivLine &e) {
+        return e.state != PrivState::U;
+    });
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.victim.line, lineInSet(0, sets, 0));
+}
+
+TEST(CacheArray, EraseInvalidates)
+{
+    CacheArray<PrivLine> arr(16, 4);
+    arr.insert(5, nullptr);
+    arr.erase(5);
+    EXPECT_EQ(arr.lookup(5), nullptr);
+}
+
+TEST(CacheArray, CountInSetAndFindLru)
+{
+    CacheArray<PrivLine> arr(8, 4);
+    const uint32_t sets = arr.numSets();
+    for (uint32_t i = 0; i < 3; i++) {
+        auto r = arr.insert(lineInSet(1, sets, i), nullptr);
+        r.entry->state = i < 2 ? PrivState::U : PrivState::M;
+    }
+    const auto is_u = [](const PrivLine &e) {
+        return e.state == PrivState::U;
+    };
+    EXPECT_EQ(arr.countInSet(lineInSet(1, sets, 0), is_u), 2u);
+    PrivLine *lru_u = arr.findLruWhere(lineInSet(1, sets, 0), is_u);
+    ASSERT_NE(lru_u, nullptr);
+    EXPECT_EQ(lru_u->line, lineInSet(1, sets, 0));
+}
+
+TEST(CacheArray, ClearEmptiesEverything)
+{
+    CacheArray<PrivLine> arr(16, 4);
+    for (Addr l = 0; l < 8; l++)
+        arr.insert(l, nullptr);
+    arr.clear();
+    for (Addr l = 0; l < 8; l++)
+        EXPECT_EQ(arr.lookup(l), nullptr);
+}
+
+TEST(Sharers, SetClearCountFirst)
+{
+    Sharers s;
+    EXPECT_FALSE(s.any());
+    s.set(3);
+    s.set(70);
+    s.set(127);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_TRUE(s.test(70));
+    EXPECT_EQ(s.first(), 3u);
+    EXPECT_FALSE(s.only(3));
+    s.clear(3);
+    s.clear(70);
+    EXPECT_TRUE(s.only(127));
+    std::vector<CoreId> seen;
+    s.forEach([&](CoreId c) { seen.push_back(c); });
+    EXPECT_EQ(seen, (std::vector<CoreId>{127}));
+}
+
+} // namespace
+} // namespace commtm

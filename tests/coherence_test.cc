@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Protocol-level unit tests of the MESI+U coherence implementation,
+ * driven directly through MemorySystem with a scripted HtmHooks stub:
+ * the five GETU cases (Sec. III-B3), reductions (III-B4), gathers
+ * (Sec. IV), U-line evictions (III-B5), and conflict resolution
+ * (Fig. 6), independent of the HTM and runtime layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "mem/coherence.h"
+
+namespace commtm {
+namespace {
+
+/** Scriptable transaction view for the protocol. */
+class FakeHtm : public HtmHooks
+{
+  public:
+    struct TxState {
+        bool active = false;
+        Timestamp ts = 0;
+        bool modified = false; //!< specModified() result for any line
+    };
+
+    bool
+    inTx(CoreId c) const override
+    {
+        return tx.count(c) && tx.at(c).active;
+    }
+    Timestamp
+    txTs(CoreId c) const override
+    {
+        return tx.at(c).ts;
+    }
+    bool
+    specModified(CoreId c, Addr) const override
+    {
+        return tx.count(c) && tx.at(c).modified;
+    }
+    void
+    remoteAbort(CoreId victim, AbortCause cause) override
+    {
+        aborts.push_back({victim, cause});
+        tx[victim].active = false;
+        if (mem)
+            for (Addr line : specLines[victim])
+                mem->clearSpec(victim, line);
+    }
+    void
+    noteSpecLine(CoreId c, Addr line, SpecKind) override
+    {
+        specLines[c].push_back(line);
+    }
+
+    std::map<CoreId, TxState> tx;
+    std::map<CoreId, std::vector<Addr>> specLines;
+    std::vector<std::pair<CoreId, AbortCause>> aborts;
+    MemorySystem *mem = nullptr;
+};
+
+class CoherenceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cfg_.numCores = 8;
+        cfg_.hwLabels = 8;
+        registry_ = std::make_unique<LabelRegistry>(cfg_.hwLabels);
+        add_ = registry_->define(labels::makeAdd<int64_t>("ADD"));
+        min_ = registry_->define(labels::makeMin<int64_t>("MIN"));
+        rng_ = std::make_unique<Rng>(1);
+        mem_ = std::make_unique<MemorySystem>(cfg_, memory_, *registry_,
+                                              stats_, *rng_);
+        mem_->setHtm(&htm_);
+        htm_.mem = mem_.get();
+    }
+
+    AccessResult
+    access(CoreId core, Addr addr, MemOp op, Label label = kNoLabel,
+           bool is_tx = false, Timestamp ts = 0)
+    {
+        Access a;
+        a.core = core;
+        a.addr = addr;
+        a.size = 8;
+        a.op = op;
+        a.label = label;
+        a.isTx = is_tx;
+        a.ts = ts;
+        return mem_->access(a);
+    }
+
+    int64_t
+    uValue(CoreId core, Addr line)
+    {
+        int64_t v;
+        std::memcpy(&v, mem_->uCopy(core, line).data(), sizeof(v));
+        return v;
+    }
+
+    void
+    setUValue(CoreId core, Addr line, int64_t v)
+    {
+        std::memcpy(mem_->uCopy(core, line).data(), &v, sizeof(v));
+    }
+
+    MachineConfig cfg_;
+    SimMemory memory_;
+    std::unique_ptr<LabelRegistry> registry_;
+    Label add_{}, min_{};
+    MachineStats stats_;
+    std::unique_ptr<Rng> rng_;
+    std::unique_ptr<MemorySystem> mem_;
+    FakeHtm htm_;
+};
+
+constexpr Addr kLine = 0x40000; // line-aligned test address
+
+TEST_F(CoherenceTest, GetsGrantsExclusiveCleanToFirstReader)
+{
+    access(0, kLine, MemOp::Load);
+    EXPECT_EQ(mem_->privState(0, lineAddr(kLine)), PrivState::E);
+    EXPECT_EQ(mem_->dirState(lineAddr(kLine)), DirState::M);
+}
+
+TEST_F(CoherenceTest, SecondReaderDowngradesOwnerToShared)
+{
+    access(0, kLine, MemOp::Load);
+    access(1, kLine, MemOp::Load);
+    EXPECT_EQ(mem_->privState(0, lineAddr(kLine)), PrivState::S);
+    EXPECT_EQ(mem_->privState(1, lineAddr(kLine)), PrivState::S);
+    EXPECT_EQ(mem_->dirState(lineAddr(kLine)), DirState::S);
+    EXPECT_EQ(mem_->sharerCount(lineAddr(kLine)), 2u);
+}
+
+TEST_F(CoherenceTest, StoreInvalidatesSharers)
+{
+    access(0, kLine, MemOp::Load);
+    access(1, kLine, MemOp::Load);
+    access(2, kLine, MemOp::Store);
+    EXPECT_EQ(mem_->privState(0, lineAddr(kLine)), PrivState::I);
+    EXPECT_EQ(mem_->privState(1, lineAddr(kLine)), PrivState::I);
+    EXPECT_EQ(mem_->privState(2, lineAddr(kLine)), PrivState::M);
+    EXPECT_EQ(mem_->dirState(lineAddr(kLine)), DirState::M);
+}
+
+TEST_F(CoherenceTest, SilentEToMUpgradeOnLocalStore)
+{
+    access(0, kLine, MemOp::Load);
+    ASSERT_EQ(mem_->privState(0, lineAddr(kLine)), PrivState::E);
+    const uint64_t gets_before = stats_.totalL3Gets();
+    access(0, kLine, MemOp::Store);
+    EXPECT_EQ(mem_->privState(0, lineAddr(kLine)), PrivState::M);
+    EXPECT_EQ(stats_.totalL3Gets(), gets_before); // no dir traffic
+}
+
+// --- The five GETU cases (Sec. III-B3) ---
+
+TEST_F(CoherenceTest, GetuCase1_NoSharers_ServesData)
+{
+    memory_.write<int64_t>(kLine, 24);
+    access(0, kLine, MemOp::LabeledLoad, add_);
+    EXPECT_EQ(mem_->privState(0, lineAddr(kLine)), PrivState::U);
+    EXPECT_EQ(mem_->dirState(lineAddr(kLine)), DirState::U);
+    EXPECT_EQ(mem_->dirLabel(lineAddr(kLine)), add_);
+    // The requester absorbed the memory value (Fig. 4a).
+    EXPECT_EQ(uValue(0, lineAddr(kLine)), 24);
+}
+
+TEST_F(CoherenceTest, GetuCase2_InvalidatesReadOnlySharers)
+{
+    memory_.write<int64_t>(kLine, 7);
+    access(0, kLine, MemOp::Load);
+    access(1, kLine, MemOp::Load);
+    access(2, kLine, MemOp::LabeledLoad, add_);
+    EXPECT_EQ(mem_->privState(0, lineAddr(kLine)), PrivState::I);
+    EXPECT_EQ(mem_->privState(1, lineAddr(kLine)), PrivState::I);
+    EXPECT_EQ(mem_->privState(2, lineAddr(kLine)), PrivState::U);
+    EXPECT_EQ(uValue(2, lineAddr(kLine)), 7);
+}
+
+TEST_F(CoherenceTest, GetuCase3_DifferentLabelReducesAndRelabels)
+{
+    memory_.write<int64_t>(kLine, 10);
+    access(0, kLine, MemOp::LabeledLoad, add_); // absorbs 10
+    access(1, kLine, MemOp::LabeledLoad, add_); // identity 0
+    setUValue(1, lineAddr(kLine), 5);           // simulate local adds
+    access(2, kLine, MemOp::LabeledLoad, min_);
+    // Old copies merged with the ADD reduction (10 + 5), then the line
+    // re-enters U under MIN at the requester only.
+    EXPECT_EQ(mem_->dirState(lineAddr(kLine)), DirState::U);
+    EXPECT_EQ(mem_->dirLabel(lineAddr(kLine)), min_);
+    EXPECT_EQ(mem_->sharerCount(lineAddr(kLine)), 1u);
+    EXPECT_EQ(uValue(2, lineAddr(kLine)), 15);
+    EXPECT_EQ(mem_->privState(0, lineAddr(kLine)), PrivState::I);
+    EXPECT_EQ(mem_->privState(1, lineAddr(kLine)), PrivState::I);
+}
+
+TEST_F(CoherenceTest, GetuCase4_SameLabelGrantsIdentityWithoutData)
+{
+    memory_.write<int64_t>(kLine, 24);
+    access(0, kLine, MemOp::LabeledLoad, add_);
+    access(1, kLine, MemOp::LabeledLoad, add_);
+    EXPECT_EQ(mem_->sharerCount(lineAddr(kLine)), 2u);
+    EXPECT_EQ(uValue(0, lineAddr(kLine)), 24); // kept the data
+    EXPECT_EQ(uValue(1, lineAddr(kLine)), 0);  // identity (Fig. 4a/4b)
+}
+
+TEST_F(CoherenceTest, GetuCase5_DowngradesExclusiveOwnerWhoKeepsData)
+{
+    memory_.write<int64_t>(kLine, 24);
+    access(0, kLine, MemOp::Store); // owner in M
+    access(1, kLine, MemOp::LabeledLoad, add_);
+    // Fig. 4b: owner downgraded M->U and retains the data; the
+    // requester initializes to the identity.
+    EXPECT_EQ(mem_->privState(0, lineAddr(kLine)), PrivState::U);
+    EXPECT_EQ(mem_->privState(1, lineAddr(kLine)), PrivState::U);
+    EXPECT_EQ(uValue(0, lineAddr(kLine)), 24);
+    EXPECT_EQ(uValue(1, lineAddr(kLine)), 0);
+    EXPECT_EQ(mem_->sharerCount(lineAddr(kLine)), 2u);
+}
+
+// --- Reductions (Sec. III-B4) ---
+
+TEST_F(CoherenceTest, ConventionalLoadTriggersFullReduction)
+{
+    memory_.write<int64_t>(kLine, 3);
+    access(0, kLine, MemOp::LabeledLoad, add_);
+    access(1, kLine, MemOp::LabeledLoad, add_);
+    access(2, kLine, MemOp::LabeledLoad, add_);
+    setUValue(1, lineAddr(kLine), 20);
+    setUValue(2, lineAddr(kLine), 100);
+    const uint64_t reductions_before = stats_.reductions;
+    access(3, kLine, MemOp::Load);
+    EXPECT_EQ(stats_.reductions, reductions_before + 1);
+    EXPECT_EQ(mem_->dirState(lineAddr(kLine)), DirState::M);
+    EXPECT_EQ(memory_.read<int64_t>(kLine), 123);
+    EXPECT_EQ(mem_->privState(3, lineAddr(kLine)), PrivState::M);
+    EXPECT_EQ(mem_->privState(0, lineAddr(kLine)), PrivState::I);
+}
+
+TEST_F(CoherenceTest, SoleSharerUnlabeledAccessConvertsLocally)
+{
+    memory_.write<int64_t>(kLine, 42);
+    access(0, kLine, MemOp::LabeledLoad, add_);
+    access(0, kLine, MemOp::Load); // sole sharer: U -> M, no conflict
+    EXPECT_EQ(mem_->dirState(lineAddr(kLine)), DirState::M);
+    EXPECT_EQ(memory_.read<int64_t>(kLine), 42);
+    EXPECT_TRUE(htm_.aborts.empty());
+}
+
+TEST_F(CoherenceTest, ReductionInvariant_ValueEqualsReducedCopies)
+{
+    memory_.write<int64_t>(kLine, 1);
+    access(0, kLine, MemOp::LabeledLoad, add_);
+    access(1, kLine, MemOp::LabeledLoad, add_);
+    setUValue(0, lineAddr(kLine), 11);
+    setUValue(1, lineAddr(kLine), 31);
+    const LineData reduced = mem_->debugReducedValue(lineAddr(kLine));
+    int64_t v;
+    std::memcpy(&v, reduced.data(), sizeof(v));
+    EXPECT_EQ(v, 42);
+    EXPECT_EQ(mem_->debugUCopies(lineAddr(kLine)).size(), 2u);
+}
+
+// --- Conflicts (Fig. 6) ---
+
+TEST_F(CoherenceTest, OlderRequesterAbortsYoungerLabeledHolder)
+{
+    access(0, kLine, MemOp::LabeledLoad, add_, true, 10);
+    htm_.tx[0] = {true, 10, false};
+    // Older (ts 5) conventional load: reduction; core 0 must abort.
+    const AccessResult r = access(1, kLine, MemOp::Load, kNoLabel, true, 5);
+    EXPECT_FALSE(r.mustAbort());
+    ASSERT_EQ(htm_.aborts.size(), 1u);
+    EXPECT_EQ(htm_.aborts[0].first, 0u);
+    EXPECT_EQ(htm_.aborts[0].second, AbortCause::LabeledConflict);
+}
+
+TEST_F(CoherenceTest, YoungerRequesterGetsNackedAndKeepsMergedData)
+{
+    access(0, kLine, MemOp::LabeledLoad, add_, true, 5);
+    htm_.tx[0] = {true, 5, false};
+    const AccessResult r =
+        access(1, kLine, MemOp::Load, kNoLabel, true, 10);
+    EXPECT_TRUE(r.nackAbort);
+    EXPECT_EQ(stats_.nacks, 1u);
+    EXPECT_TRUE(htm_.aborts.empty());
+    // The holder keeps its U copy (Fig. 6b).
+    EXPECT_EQ(mem_->dirState(lineAddr(kLine)), DirState::U);
+    EXPECT_TRUE(mem_->coreHasU(0, lineAddr(kLine)));
+}
+
+TEST_F(CoherenceTest, NonSpeculativeRequestsCannotBeNacked)
+{
+    access(0, kLine, MemOp::LabeledLoad, add_, true, 5);
+    htm_.tx[0] = {true, 5, false};
+    const AccessResult r = access(1, kLine, MemOp::Load); // non-tx
+    EXPECT_FALSE(r.mustAbort());
+    ASSERT_EQ(htm_.aborts.size(), 1u);
+    EXPECT_EQ(htm_.aborts[0].first, 0u);
+}
+
+TEST_F(CoherenceTest, ReadAfterWriteConflictClassified)
+{
+    access(0, kLine, MemOp::Store, kNoLabel, true, 10);
+    htm_.tx[0] = {true, 10, false};
+    access(1, kLine, MemOp::Load, kNoLabel, true, 5);
+    ASSERT_EQ(htm_.aborts.size(), 1u);
+    EXPECT_EQ(htm_.aborts[0].second, AbortCause::ReadAfterWrite);
+}
+
+TEST_F(CoherenceTest, WriteAfterReadConflictClassified)
+{
+    access(0, kLine, MemOp::Load, kNoLabel, true, 10);
+    htm_.tx[0] = {true, 10, false};
+    access(1, kLine, MemOp::Store, kNoLabel, true, 5);
+    ASSERT_EQ(htm_.aborts.size(), 1u);
+    EXPECT_EQ(htm_.aborts[0].second, AbortCause::WriteAfterRead);
+}
+
+TEST_F(CoherenceTest, ReadersDoNotConflictWithSpeculativeReaders)
+{
+    access(0, kLine, MemOp::Load, kNoLabel, true, 10);
+    htm_.tx[0] = {true, 10, false};
+    access(1, kLine, MemOp::Load, kNoLabel, true, 5);
+    EXPECT_TRUE(htm_.aborts.empty());
+}
+
+TEST_F(CoherenceTest, SelfDemotionOnUnlabeledAccessToModifiedLabeledData)
+{
+    access(0, kLine, MemOp::LabeledLoad, add_, true, 5);
+    access(1, kLine, MemOp::LabeledLoad, add_, true, 6);
+    htm_.tx[0] = {true, 5, true}; // speculatively modified
+    htm_.tx[1] = {true, 6, false};
+    const AccessResult r = access(0, kLine, MemOp::Load, kNoLabel, true, 5);
+    EXPECT_TRUE(r.selfDemote);
+    EXPECT_EQ(r.cause, AbortCause::SelfDemotion);
+}
+
+// --- Gathers (Sec. IV) ---
+
+TEST_F(CoherenceTest, GatherRebalancesValueAcrossSharers)
+{
+    memory_.write<int64_t>(kLine, 128);
+    access(0, kLine, MemOp::LabeledLoad, add_); // absorbs 128
+    access(1, kLine, MemOp::LabeledLoad, add_); // identity
+    access(1, kLine, MemOp::Gather, add_);
+    // Two sharers: core 0 donates floor(128/2) = 64.
+    EXPECT_EQ(uValue(0, lineAddr(kLine)), 64);
+    EXPECT_EQ(uValue(1, lineAddr(kLine)), 64);
+    EXPECT_EQ(mem_->dirState(lineAddr(kLine)), DirState::U);
+    EXPECT_EQ(mem_->sharerCount(lineAddr(kLine)), 2u);
+    EXPECT_EQ(stats_.gathers, 1u);
+    EXPECT_EQ(stats_.splits, 1u);
+}
+
+TEST_F(CoherenceTest, GatherSkipsSharersWithNothingToDonate)
+{
+    memory_.write<int64_t>(kLine, 1);
+    access(0, kLine, MemOp::LabeledLoad, add_); // absorbs 1
+    access(1, kLine, MemOp::LabeledLoad, add_);
+    access(2, kLine, MemOp::LabeledLoad, add_);
+    htm_.tx[0] = {true, 1, false}; // would conflict if split
+    access(2, kLine, MemOp::Gather, add_, true, 99);
+    // floor(1/3) == 0: nothing to donate, so no split and no conflict.
+    EXPECT_TRUE(htm_.aborts.empty());
+    EXPECT_EQ(stats_.splits, 0u);
+    EXPECT_EQ(uValue(0, lineAddr(kLine)), 1);
+}
+
+TEST_F(CoherenceTest, GatherAgainstOlderHolderGetsNacked)
+{
+    memory_.write<int64_t>(kLine, 100);
+    access(0, kLine, MemOp::LabeledLoad, add_, true, 5);
+    htm_.tx[0] = {true, 5, false};
+    access(1, kLine, MemOp::LabeledLoad, add_, true, 10);
+    htm_.tx[1] = {true, 10, false};
+    const AccessResult r = access(1, kLine, MemOp::Gather, add_, true, 10);
+    EXPECT_TRUE(r.nackAbort);
+    EXPECT_EQ(r.cause, AbortCause::GatherAfterLabeled);
+    EXPECT_EQ(uValue(0, lineAddr(kLine)), 100); // donor untouched
+}
+
+TEST_F(CoherenceTest, GatherAcquiresUWhenNotYetSharing)
+{
+    memory_.write<int64_t>(kLine, 64);
+    access(0, kLine, MemOp::LabeledLoad, add_);
+    access(1, kLine, MemOp::Gather, add_); // GETU first, then gather
+    EXPECT_TRUE(mem_->coreHasU(1, lineAddr(kLine)));
+    EXPECT_EQ(uValue(0, lineAddr(kLine)) + uValue(1, lineAddr(kLine)), 64);
+}
+
+// --- Evictions (Sec. III-B5) ---
+
+TEST_F(CoherenceTest, SoleSharerUEvictionWritesBack)
+{
+    // Tiny private caches so a handful of fills force evictions.
+    SimMemory memory2;
+    MachineStats stats2;
+    Rng rng2(3);
+    MachineConfig geom;
+    geom.numCores = 2;
+    geom.l1SizeKB = 1; // 16 lines, 8 ways -> 2 sets
+    geom.l2SizeKB = 2; // 32 lines, 8 ways -> 4 sets
+    LabelRegistry reg(geom.hwLabels);
+    const Label add = reg.define(labels::makeAdd<int64_t>("ADD"));
+    MemorySystem ms(geom, memory2, reg, stats2, rng2);
+    FakeHtm htm;
+    htm.mem = &ms;
+    ms.setHtm(&htm);
+
+    // Touch one line with a labeled store, then flood its L2 set.
+    const Addr base = 0x100000;
+    memory2.write<int64_t>(base, 77);
+    Access a;
+    a.core = 0;
+    a.addr = base;
+    a.size = 8;
+    a.op = MemOp::LabeledStore;
+    a.label = add;
+    ms.access(a);
+    ASSERT_TRUE(ms.coreHasU(0, lineAddr(base)));
+    // Flood: lines mapping to the same L2 set (stride = sets * 64).
+    const uint32_t l2_sets = geom.l2Lines() / geom.l2Ways;
+    for (uint32_t i = 1; i <= geom.l2Ways + 1; i++) {
+        Access f;
+        f.core = 0;
+        f.addr = base + Addr(i) * l2_sets * kLineSize;
+        f.size = 8;
+        f.op = MemOp::Load;
+        ms.access(f);
+    }
+    // The U line was evicted from the private hierarchy: written back.
+    EXPECT_FALSE(ms.coreHasU(0, lineAddr(base)));
+    EXPECT_EQ(ms.dirState(lineAddr(base)), DirState::NonCached);
+    EXPECT_EQ(memory2.read<int64_t>(base), 77);
+    EXPECT_EQ(stats2.uWritebacks, 1u);
+}
+
+TEST_F(CoherenceTest, MultiSharerUEvictionForwardsToAnotherSharer)
+{
+    SimMemory memory2;
+    MachineStats stats2;
+    Rng rng2(3);
+    MachineConfig geom;
+    geom.numCores = 2;
+    geom.l1SizeKB = 1;
+    geom.l2SizeKB = 2;
+    LabelRegistry reg(geom.hwLabels);
+    const Label add = reg.define(labels::makeAdd<int64_t>("ADD"));
+    MemorySystem ms(geom, memory2, reg, stats2, rng2);
+    FakeHtm htm;
+    htm.mem = &ms;
+    ms.setHtm(&htm);
+
+    const Addr base = 0x200000;
+    memory2.write<int64_t>(base, 50);
+    for (CoreId c = 0; c < 2; c++) {
+        Access a;
+        a.core = c;
+        a.addr = base;
+        a.size = 8;
+        a.op = MemOp::LabeledStore;
+        a.label = add;
+        ms.access(a);
+    }
+    // Core 0 has 50 (absorbed), core 1 identity; bump core 0 to check
+    // the forward-merge.
+    const uint32_t l2_sets = geom.l2Lines() / geom.l2Ways;
+    for (uint32_t i = 1; i <= geom.l2Ways + 1; i++) {
+        Access f;
+        f.core = 0;
+        f.addr = base + Addr(i) * l2_sets * kLineSize;
+        f.size = 8;
+        f.op = MemOp::Load;
+        ms.access(f);
+    }
+    EXPECT_FALSE(ms.coreHasU(0, lineAddr(base)));
+    ASSERT_TRUE(ms.coreHasU(1, lineAddr(base)));
+    int64_t v;
+    std::memcpy(&v, ms.uCopy(1, lineAddr(base)).data(), sizeof(v));
+    EXPECT_EQ(v, 50); // core 0's copy merged into core 1's
+    EXPECT_EQ(stats2.uForwards, 1u);
+}
+
+} // namespace
+} // namespace commtm

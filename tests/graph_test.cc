@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the host-side graph generators and references used by the
+ * graph applications.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/graph.h"
+
+namespace commtm {
+namespace {
+
+TEST(Graph, RoadNetworkIsConnected)
+{
+    for (uint32_t n : {16u, 257u, 1000u}) {
+        const HostGraph g = roadNetwork(n, 1);
+        EXPECT_EQ(g.numVertices, n);
+        EXPECT_TRUE(isConnected(g)) << "n=" << n;
+    }
+}
+
+TEST(Graph, RoadNetworkHasUniqueWeights)
+{
+    const HostGraph g = roadNetwork(500, 7);
+    std::set<uint64_t> weights;
+    for (const Edge &e : g.edges)
+        EXPECT_TRUE(weights.insert(e.weight).second);
+}
+
+TEST(Graph, RoadNetworkDegreeIsRoadLike)
+{
+    const HostGraph g = roadNetwork(2000, 3);
+    const double avg_degree =
+        2.0 * double(g.edges.size()) / double(g.numVertices);
+    EXPECT_GT(avg_degree, 1.9); // at least the spanning tree
+    EXPECT_LT(avg_degree, 4.0); // sparse, road-like
+}
+
+TEST(Graph, RoadNetworkDeterministicPerSeed)
+{
+    const HostGraph a = roadNetwork(100, 5);
+    const HostGraph b = roadNetwork(100, 5);
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (size_t i = 0; i < a.edges.size(); i++) {
+        EXPECT_EQ(a.edges[i].u, b.edges[i].u);
+        EXPECT_EQ(a.edges[i].v, b.edges[i].v);
+        EXPECT_EQ(a.edges[i].weight, b.edges[i].weight);
+    }
+}
+
+TEST(Graph, RmatShapeAndSkew)
+{
+    const HostGraph g = rmat(10, 8, 11);
+    EXPECT_EQ(g.numVertices, 1024u);
+    EXPECT_EQ(g.edges.size(), 8192u);
+    // R-MAT skew: low-numbered vertices receive many more edges.
+    uint64_t low = 0, high = 0;
+    for (const Edge &e : g.edges) {
+        if (e.u < 512)
+            low++;
+        else
+            high++;
+    }
+    EXPECT_GT(low, 2 * high);
+}
+
+TEST(Graph, KruskalOnKnownGraph)
+{
+    HostGraph g;
+    g.numVertices = 4;
+    // Square with one diagonal: MST = 1 + 2 + 3.
+    g.edges = {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 10}, {0, 2, 9}};
+    EXPECT_EQ(kruskalMstWeight(g), 6u);
+}
+
+TEST(Graph, KruskalIgnoresDisconnectedAsPartialForest)
+{
+    HostGraph g;
+    g.numVertices = 4;
+    g.edges = {{0, 1, 5}, {2, 3, 7}};
+    EXPECT_FALSE(isConnected(g));
+    EXPECT_EQ(kruskalMstWeight(g), 12u); // spanning forest weight
+}
+
+} // namespace
+} // namespace commtm

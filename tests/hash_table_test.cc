@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the resizable hash table: functional map semantics,
+ * concurrent inserts with duplicates, non-speculative resizing racing
+ * transactional inserters, and remaining-space conservation (the
+ * conditionally-commutative counter at the heart of genome/vacation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lib/hash_table.h"
+#include "rt/machine.h"
+
+namespace commtm {
+namespace {
+
+class HashTableModes : public ::testing::TestWithParam<SystemMode>
+{
+  protected:
+    MachineConfig
+    cfg(uint32_t cores = 8) const
+    {
+        MachineConfig c;
+        c.numCores = cores;
+        c.mode = GetParam();
+        return c;
+    }
+};
+
+TEST_P(HashTableModes, BasicMapSemantics)
+{
+    Machine m(cfg(1));
+    const Label b = BoundedCounter::defineLabel(m);
+    ResizableHashMap table(m, b, 16, 2.0);
+    m.addThread([&](ThreadContext &ctx) {
+        EXPECT_TRUE(table.insert(ctx, 1, 100));
+        EXPECT_FALSE(table.insert(ctx, 1, 200)); // duplicate
+        uint64_t v = 0;
+        EXPECT_TRUE(table.lookup(ctx, 1, &v));
+        EXPECT_EQ(v, 100u);
+        EXPECT_FALSE(table.lookup(ctx, 2, &v));
+        EXPECT_TRUE(table.update(ctx, 1, 300));
+        EXPECT_TRUE(table.lookup(ctx, 1, &v));
+        EXPECT_EQ(v, 300u);
+        EXPECT_FALSE(table.update(ctx, 9, 1));
+        EXPECT_TRUE(table.erase(ctx, 1));
+        EXPECT_FALSE(table.erase(ctx, 1));
+        EXPECT_FALSE(table.lookup(ctx, 1, &v));
+    });
+    m.run();
+    EXPECT_EQ(table.peekSize(m), 0u);
+}
+
+TEST_P(HashTableModes, UpdateWithIsAtomic)
+{
+    Machine m(cfg());
+    const Label b = BoundedCounter::defineLabel(m);
+    ResizableHashMap table(m, b, 64, 2.0);
+    // One row with 50 units; 8 threads try to take 10 each.
+    std::vector<int64_t> taken(8, 0);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            if (t == 0)
+                table.insert(ctx, 7, 50);
+            ctx.barrier();
+            for (int i = 0; i < 10; i++) {
+                const bool got =
+                    table.updateWith(ctx, 7, [](uint64_t &v) {
+                        if (v == 0)
+                            return false;
+                        v--;
+                        return true;
+                    });
+                if (got)
+                    taken[t]++;
+            }
+        });
+    }
+    m.run();
+    int64_t total = 0;
+    for (auto v : taken)
+        total += v;
+    EXPECT_EQ(total, 50);
+    uint64_t left = 0;
+    EXPECT_TRUE(table.peekLookup(m, 7, &left));
+    EXPECT_EQ(left, 0u);
+}
+
+TEST_P(HashTableModes, ConcurrentInsertsWithDuplicates)
+{
+    Machine m(cfg());
+    const Label b = BoundedCounter::defineLabel(m);
+    ResizableHashMap table(m, b, 64, 1.0);
+    constexpr uint32_t kKeySpace = 400;
+    std::vector<std::vector<uint64_t>> wins(8);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < 150; i++) {
+                const uint64_t key = 1 + rng.below(kKeySpace);
+                if (table.insert(ctx, key, key * 2))
+                    wins[t].push_back(key);
+            }
+        });
+    }
+    m.run();
+    // Each key inserted exactly once across all threads.
+    std::unordered_set<uint64_t> unique;
+    for (const auto &w : wins) {
+        for (uint64_t k : w)
+            EXPECT_TRUE(unique.insert(k).second)
+                << "key " << k << " inserted twice";
+    }
+    EXPECT_EQ(table.peekSize(m), unique.size());
+    for (uint64_t k : unique) {
+        uint64_t v = 0;
+        EXPECT_TRUE(table.peekLookup(m, k, &v));
+        EXPECT_EQ(v, k * 2);
+    }
+    // 64 * 1.0 capacity with ~350 unique inserts: must have resized.
+    EXPECT_GE(table.resizes(), 2u);
+}
+
+TEST_P(HashTableModes, RemainingSpaceConservation)
+{
+    Machine m(cfg());
+    const Label b = BoundedCounter::defineLabel(m);
+    const uint32_t initial_buckets = 32;
+    const double fill = 1.5;
+    ResizableHashMap table(m, b, initial_buckets, fill);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < 80; i++) {
+                const uint64_t key = 1 + rng.below(300);
+                if (rng.chance(0.8))
+                    table.insert(ctx, key, 1);
+                else
+                    table.erase(ctx, key);
+            }
+        });
+    }
+    m.run();
+    // capacity(now) - size == remaining space.
+    const uint64_t buckets = table.peekBuckets(m);
+    const int64_t capacity = int64_t(fill * double(buckets));
+    // Structural invariant: the table never exceeds its capacity.
+    EXPECT_LE(table.peekSize(m), uint64_t(capacity));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, HashTableModes,
+                         ::testing::Values(SystemMode::BaselineHtm,
+                                           SystemMode::CommTmNoGather,
+                                           SystemMode::CommTm),
+                         [](const auto &info) -> std::string {
+                             switch (info.param) {
+                               case SystemMode::BaselineHtm:
+                                 return "Baseline";
+                               case SystemMode::CommTmNoGather:
+                                 return "NoGather";
+                               default:
+                                 return "CommTM";
+                             }
+                         });
+
+} // namespace
+} // namespace commtm

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for labels: identity values, reduction handlers, splitters and
+ * probes (makeAdd/makeMin/makeMax), registry behavior, and the
+ * label-virtualization fallback (Sec. III-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "commtm/label.h"
+#include "lib/counter.h"
+#include "rt/machine.h"
+
+namespace commtm {
+namespace {
+
+/** Handler context that tracks compute but forbids memory access. */
+class NullCtx : public HandlerContext
+{
+  public:
+    void rawRead(Addr, void *, size_t) override { FAIL(); }
+    void rawWrite(Addr, const void *, size_t) override { FAIL(); }
+    void compute(uint64_t n) override { computed += n; }
+    uint64_t computed = 0;
+};
+
+template <typename T>
+void
+putElem(LineData &line, size_t i, T v)
+{
+    std::memcpy(line.data() + i * sizeof(T), &v, sizeof(T));
+}
+
+template <typename T>
+T
+getElem(const LineData &line, size_t i)
+{
+    T v;
+    std::memcpy(&v, line.data() + i * sizeof(T), sizeof(T));
+    return v;
+}
+
+TEST(Labels, AddIdentityIsZeroAndReduceSums)
+{
+    const LabelInfo info = labels::makeAdd<int64_t>("ADD");
+    for (size_t i = 0; i < 8; i++)
+        EXPECT_EQ(getElem<int64_t>(info.identity, i), 0);
+    LineData a{}, b{};
+    putElem<int64_t>(a, 0, 10);
+    putElem<int64_t>(a, 7, -3);
+    putElem<int64_t>(b, 0, 32);
+    putElem<int64_t>(b, 7, 3);
+    NullCtx ctx;
+    info.reduce(ctx, a, b);
+    EXPECT_EQ(getElem<int64_t>(a, 0), 42);
+    EXPECT_EQ(getElem<int64_t>(a, 7), 0);
+    EXPECT_GT(ctx.computed, 0u);
+}
+
+TEST(Labels, ReducingWithIdentityIsNoOp)
+{
+    for (const LabelInfo &info :
+         {labels::makeAdd<int64_t>("A"), labels::makeMin<int64_t>("I"),
+          labels::makeMax<int64_t>("X")}) {
+        LineData v{};
+        putElem<int64_t>(v, 0, 1234);
+        putElem<int64_t>(v, 3, -77);
+        LineData expect = v;
+        NullCtx ctx;
+        info.reduce(ctx, v, info.identity);
+        EXPECT_EQ(v, expect) << info.name;
+    }
+}
+
+TEST(Labels, MinMaxReduceElementwise)
+{
+    const LabelInfo mn = labels::makeMin<int32_t>("MIN");
+    const LabelInfo mx = labels::makeMax<int32_t>("MAX");
+    LineData a{}, b{};
+    putElem<int32_t>(a, 0, 5);
+    putElem<int32_t>(b, 0, 3);
+    putElem<int32_t>(a, 15, -9);
+    putElem<int32_t>(b, 15, 9);
+    NullCtx ctx;
+    LineData amin = a;
+    mn.reduce(ctx, amin, b);
+    EXPECT_EQ(getElem<int32_t>(amin, 0), 3);
+    EXPECT_EQ(getElem<int32_t>(amin, 15), -9);
+    LineData amax = a;
+    mx.reduce(ctx, amax, b);
+    EXPECT_EQ(getElem<int32_t>(amax, 0), 5);
+    EXPECT_EQ(getElem<int32_t>(amax, 15), 9);
+}
+
+TEST(Labels, AddSplitterDonatesFloorFraction)
+{
+    const LabelInfo info = labels::makeAdd<int64_t>("ADD");
+    LineData local{};
+    putElem<int64_t>(local, 0, 100);
+    putElem<int64_t>(local, 1, 3); // below numSharers: donates nothing
+    LineData out = info.identity;
+    NullCtx ctx;
+    info.split(ctx, local, out, 4);
+    EXPECT_EQ(getElem<int64_t>(out, 0), 25);
+    EXPECT_EQ(getElem<int64_t>(local, 0), 75);
+    EXPECT_EQ(getElem<int64_t>(out, 1), 0);
+    EXPECT_EQ(getElem<int64_t>(local, 1), 3);
+}
+
+TEST(Labels, AddSplitProbeMatchesSplitter)
+{
+    const LabelInfo info = labels::makeAdd<int64_t>("ADD");
+    LineData small{};
+    putElem<int64_t>(small, 2, 3);
+    EXPECT_FALSE(info.splitProbe(small, 4)); // floor(3/4) == 0
+    EXPECT_TRUE(info.splitProbe(small, 2));  // floor(3/2) == 1
+    LineData zero{};
+    EXPECT_FALSE(info.splitProbe(zero, 1));
+}
+
+TEST(Labels, RegistryAssignsSequentialIds)
+{
+    LabelRegistry reg(8);
+    const Label a = reg.define(labels::makeAdd<int64_t>("A"));
+    const Label b = reg.define(labels::makeMin<int64_t>("B"));
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    EXPECT_EQ(reg.get(a).name, "A");
+    EXPECT_EQ(reg.get(b).name, "B");
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Labels, VirtualizationDemotesBeyondHardwareBudget)
+{
+    LabelRegistry reg(2);
+    const Label a = reg.define(labels::makeAdd<int64_t>("A"));
+    const Label b = reg.define(labels::makeAdd<int64_t>("B"));
+    const Label c = reg.define(labels::makeAdd<int64_t>("C"));
+    EXPECT_TRUE(reg.inHardware(a));
+    EXPECT_TRUE(reg.inHardware(b));
+    EXPECT_FALSE(reg.inHardware(c)); // demoted to conventional accesses
+}
+
+TEST(Labels, DemotedLabelStillProducesCorrectResults)
+{
+    MachineConfig c;
+    c.numCores = 4;
+    c.mode = SystemMode::CommTm;
+    c.hwLabels = 0; // everything demoted
+    Machine m(c);
+    const Label add = CommCounter::defineLabel(m);
+    CommCounter counter(m, add);
+    for (int t = 0; t < 4; t++) {
+        m.addThread([&](ThreadContext &ctx) {
+            for (int i = 0; i < 50; i++)
+                counter.add(ctx, 2);
+        });
+    }
+    m.run();
+    EXPECT_EQ(counter.peek(m), 400);
+    // Demoted: no U lines, no GETU traffic.
+    EXPECT_EQ(m.stats().machine.l3Gets[size_t(GetType::GETU)], 0u);
+    EXPECT_EQ(m.stats().aggregateThreads().labeledInstrs, 0u);
+}
+
+TEST(Labels, FloatAddReduces)
+{
+    const LabelInfo info = labels::makeAdd<float>("FP");
+    LineData a{}, b{};
+    putElem<float>(a, 0, 1.5f);
+    putElem<float>(b, 0, 2.25f);
+    NullCtx ctx;
+    info.reduce(ctx, a, b);
+    EXPECT_FLOAT_EQ(getElem<float>(a, 0), 3.75f);
+}
+
+} // namespace
+} // namespace commtm

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the commutative data-structure library: counters, bounded
+ * counters (with/without gathers), linked lists (Fig. 11 semantics),
+ * ordered puts, and top-K sets — functional correctness on every
+ * system mode, validated against host-side references.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "lib/bounded_counter.h"
+#include "lib/counter.h"
+#include "lib/linked_list.h"
+#include "lib/ordered_put.h"
+#include "lib/topk.h"
+#include "rt/machine.h"
+
+namespace commtm {
+namespace {
+
+class LibModes : public ::testing::TestWithParam<SystemMode>
+{
+  protected:
+    MachineConfig
+    cfg(uint32_t cores = 8) const
+    {
+        MachineConfig c;
+        c.numCores = cores;
+        c.mode = GetParam();
+        return c;
+    }
+};
+
+TEST_P(LibModes, CounterMixedDeltas)
+{
+    Machine m(cfg());
+    const Label add = CommCounter::defineLabel(m);
+    CommCounter counter(m, add);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            for (int i = 1; i <= 50; i++)
+                counter.add(ctx, (t % 2 == 0) ? i : -i);
+        });
+    }
+    m.run();
+    EXPECT_EQ(counter.peek(m), 0); // four +sum(1..50), four -sum(1..50)
+}
+
+TEST_P(LibModes, MultipleCountersShareOneLine)
+{
+    // Eight 8-byte counters fit in one line; reductions must merge
+    // element-wise without cross-talk (Sec. III-A object-size rules).
+    Machine m(cfg());
+    const Label add = CommCounter::defineLabel(m);
+    const Addr base = m.allocator().allocLines(1);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            const Addr mine = base + 8 * Addr(t);
+            for (int i = 0; i < 25; i++) {
+                ctx.txRun([&] {
+                    const int64_t v =
+                        ctx.readLabeled<int64_t>(mine, add);
+                    ctx.writeLabeled<int64_t>(mine, add,
+                                              v + (t + 1));
+                });
+            }
+        });
+    }
+    m.run();
+    const LineData line = m.memSys().debugReducedValue(lineAddr(base));
+    for (int t = 0; t < 8; t++) {
+        int64_t v;
+        std::memcpy(&v, line.data() + 8 * t, sizeof(v));
+        EXPECT_EQ(v, 25 * (t + 1)) << "counter " << t;
+    }
+}
+
+TEST_P(LibModes, BoundedCounterNeverGoesNegative)
+{
+    Machine m(cfg());
+    const Label bounded = BoundedCounter::defineLabel(m);
+    BoundedCounter counter(m, bounded, 5);
+    std::vector<int64_t> successes(8, 0);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            for (int i = 0; i < 40; i++) {
+                if (counter.decrement(ctx))
+                    successes[t]++;
+            }
+        });
+    }
+    m.run();
+    int64_t total = 0;
+    for (auto s : successes)
+        total += s;
+    EXPECT_EQ(total, 5); // exactly the initial value
+    EXPECT_EQ(counter.peek(m), 0);
+}
+
+TEST_P(LibModes, BoundedCounterConservation)
+{
+    Machine m(cfg());
+    const Label bounded = BoundedCounter::defineLabel(m);
+    BoundedCounter counter(m, bounded, 0);
+    std::vector<int64_t> net(8, 0);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < 100; i++) {
+                if (rng.chance(0.6)) {
+                    counter.increment(ctx);
+                    net[t]++;
+                } else if (counter.decrement(ctx)) {
+                    net[t]--;
+                }
+            }
+        });
+    }
+    m.run();
+    int64_t expected = 0;
+    for (auto n : net)
+        expected += n;
+    EXPECT_GE(expected, 0);
+    EXPECT_EQ(counter.peek(m), expected);
+}
+
+TEST_P(LibModes, ListPreservesMultiset)
+{
+    Machine m(cfg());
+    const Label label = CommList::defineLabel(m);
+    CommList list(m, label, GetParam() == SystemMode::BaselineHtm);
+    std::vector<std::vector<uint64_t>> enqueued(8), dequeued(8);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < 60; i++) {
+                const uint64_t v = (uint64_t(t) << 32) | uint64_t(i);
+                if (rng.chance(0.7)) {
+                    list.enqueue(ctx, v);
+                    enqueued[t].push_back(v);
+                } else {
+                    uint64_t out;
+                    if (list.dequeue(ctx, &out))
+                        dequeued[t].push_back(out);
+                }
+            }
+        });
+    }
+    m.run();
+    // Enqueued values minus dequeued values must equal the remainder;
+    // every dequeued value must have been enqueued exactly once.
+    std::multiset<uint64_t> expected;
+    for (const auto &ops : enqueued)
+        expected.insert(ops.begin(), ops.end());
+    for (const auto &ops : dequeued) {
+        for (uint64_t v : ops) {
+            auto it = expected.find(v);
+            ASSERT_NE(it, expected.end())
+                << "dequeued a value never enqueued (or twice)";
+            expected.erase(it);
+        }
+    }
+    std::vector<uint64_t> got = list.peekAll(m);
+    std::multiset<uint64_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, expected);
+}
+
+TEST_P(LibModes, ListDrainsToEmpty)
+{
+    Machine m(cfg(4));
+    const Label label = CommList::defineLabel(m);
+    CommList list(m, label, GetParam() == SystemMode::BaselineHtm);
+    for (int t = 0; t < 4; t++) {
+        m.addThread([&](ThreadContext &ctx) {
+            for (int i = 0; i < 30; i++)
+                list.enqueue(ctx, i);
+            ctx.barrier();
+            uint64_t out;
+            while (list.dequeue(ctx, &out)) {
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(list.peekSize(m), 0u);
+}
+
+TEST_P(LibModes, OrderedPutKeepsMinimum)
+{
+    Machine m(cfg());
+    const Label label = OrderedPut::defineLabel(m);
+    OrderedPut cell(m, label);
+    std::vector<int64_t> mins(8, OrderedPut::kEmptyKey);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < 100; i++) {
+                const int64_t key = int64_t(rng.next() >> 1);
+                cell.put(ctx, key, uint64_t(key) + 1);
+                mins[t] = std::min(mins[t], key);
+            }
+        });
+    }
+    m.run();
+    int64_t expected = OrderedPut::kEmptyKey;
+    for (auto v : mins)
+        expected = std::min(expected, v);
+    const OrderedPut::Pair final = cell.peek(m);
+    EXPECT_EQ(final.key, expected);
+    EXPECT_EQ(final.value, uint64_t(expected) + 1);
+}
+
+TEST_P(LibModes, TopKMatchesSortedReference)
+{
+    Machine m(cfg());
+    constexpr uint32_t kK = 16;
+    const Label label = TopK::defineLabel(m, kK);
+    TopK set(m, label, kK);
+    std::vector<std::vector<int64_t>> inserted(8);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < 50; i++) {
+                const int64_t key = int64_t(rng.next() >> 1);
+                set.insert(ctx, key);
+                inserted[t].push_back(key);
+            }
+        });
+    }
+    m.run();
+    std::vector<int64_t> all;
+    for (auto &v : inserted)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end(), std::greater<int64_t>());
+    all.resize(kK);
+    std::vector<int64_t> got = set.peekAll(m);
+    std::sort(got.begin(), got.end(), std::greater<int64_t>());
+    EXPECT_EQ(got, all);
+}
+
+TEST_P(LibModes, TopKReaderSeesMergedHeaps)
+{
+    Machine m(cfg(4));
+    constexpr uint32_t kK = 8;
+    const Label label = TopK::defineLabel(m, kK);
+    TopK set(m, label, kK);
+    for (int t = 0; t < 4; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            for (int i = 0; i < 20; i++)
+                set.insert(ctx, t * 100 + i);
+            ctx.barrier();
+            if (t == 0) {
+                // Fig. 15: the read triggers a reduction merging all
+                // local heaps.
+                std::vector<int64_t> keys = set.readAll(ctx);
+                std::sort(keys.begin(), keys.end());
+                EXPECT_EQ(keys.size(), kK);
+                // Top-8 of {0..19, 100..119, 200..219, 300..319}.
+                EXPECT_EQ(keys.front(), 312);
+                EXPECT_EQ(keys.back(), 319);
+            }
+        });
+    }
+    m.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, LibModes,
+                         ::testing::Values(SystemMode::BaselineHtm,
+                                           SystemMode::CommTmNoGather,
+                                           SystemMode::CommTm),
+                         [](const auto &info) -> std::string {
+                             switch (info.param) {
+                               case SystemMode::BaselineHtm:
+                                 return "Baseline";
+                               case SystemMode::CommTmNoGather:
+                                 return "NoGather";
+                               default:
+                                 return "CommTM";
+                             }
+                         });
+
+} // namespace
+} // namespace commtm

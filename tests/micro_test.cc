@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the microbenchmark harnesses themselves plus the headline
+ * scaling-shape assertions the paper's Figs. 9-14 rest on, at
+ * test-sized inputs: CommTM must beat the baseline on every contended
+ * microbenchmark, gathers must beat reductions on refcounting, and all
+ * runs must pass their internal functional validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/micro.h"
+
+namespace commtm {
+namespace {
+
+MachineConfig
+cfg(SystemMode mode)
+{
+    MachineConfig c;
+    c.mode = mode;
+    return c;
+}
+
+constexpr uint32_t kThreads = 32;
+
+TEST(MicroShape, CounterCommTmBeatsBaseline)
+{
+    const MicroResult base =
+        runCounterMicro(cfg(SystemMode::BaselineHtm), kThreads, 4000);
+    const MicroResult comm =
+        runCounterMicro(cfg(SystemMode::CommTm), kThreads, 4000);
+    ASSERT_TRUE(base.valid);
+    ASSERT_TRUE(comm.valid);
+    // Fig. 9: at 32 threads CommTM should be an order of magnitude
+    // ahead of the serialized baseline.
+    EXPECT_GT(double(base.cycles()) / double(comm.cycles()), 10.0);
+    EXPECT_EQ(comm.stats.aggregateThreads().txAborted, 0u);
+}
+
+TEST(MicroShape, RefcountGatherBeatsNoGatherBeatsNothing)
+{
+    const MicroResult base =
+        runRefcountMicro(cfg(SystemMode::BaselineHtm), kThreads, 32000);
+    const MicroResult nog = runRefcountMicro(
+        cfg(SystemMode::CommTmNoGather), kThreads, 32000);
+    const MicroResult full =
+        runRefcountMicro(cfg(SystemMode::CommTm), kThreads, 32000);
+    ASSERT_TRUE(base.valid && nog.valid && full.valid);
+    // Fig. 10 ordering: gathers win big; without them reductions
+    // serialize to roughly baseline level.
+    EXPECT_GT(double(base.cycles()) / double(full.cycles()), 4.0);
+    EXPECT_GT(double(nog.cycles()) / double(full.cycles()), 4.0);
+    EXPECT_GT(full.stats.machine.gathers, 0u);
+    EXPECT_EQ(base.stats.machine.gathers, 0u);
+    EXPECT_EQ(nog.stats.machine.gathers, 0u);
+    EXPECT_GT(nog.stats.machine.reductions, 0u);
+}
+
+TEST(MicroShape, EnqueueOnlyListScalesLinearly)
+{
+    const MicroResult comm =
+        runListMicro(cfg(SystemMode::CommTm), kThreads, 6400, 100);
+    const MicroResult one =
+        runListMicro(cfg(SystemMode::CommTm), 1, 6400, 100);
+    ASSERT_TRUE(comm.valid && one.valid);
+    // Fig. 12a: near-linear (allow generous slack at test size).
+    EXPECT_GT(double(one.cycles()) / double(comm.cycles()),
+              0.6 * kThreads);
+}
+
+TEST(MicroShape, OrderedPutBothScaleCommTmMore)
+{
+    const MicroResult base =
+        runOputMicro(cfg(SystemMode::BaselineHtm), kThreads, 8000);
+    const MicroResult comm =
+        runOputMicro(cfg(SystemMode::CommTm), kThreads, 8000);
+    ASSERT_TRUE(base.valid && comm.valid);
+    // Fig. 13: the baseline scales partially; CommTM at least as well.
+    EXPECT_LE(comm.cycles(), base.cycles());
+}
+
+TEST(MicroShape, TopKCommTmAvoidsAllAborts)
+{
+    const MicroResult base =
+        runTopkMicro(cfg(SystemMode::BaselineHtm), kThreads, 6400, 64);
+    const MicroResult comm =
+        runTopkMicro(cfg(SystemMode::CommTm), kThreads, 6400, 64);
+    ASSERT_TRUE(base.valid && comm.valid);
+    EXPECT_GT(base.stats.aggregateThreads().txAborted, 0u);
+    EXPECT_EQ(comm.stats.aggregateThreads().txAborted, 0u);
+    EXPECT_LT(comm.cycles(), base.cycles());
+}
+
+TEST(MicroShape, BaselineWasteIsReadAfterWrite)
+{
+    // Fig. 18: baseline wasted cycles are almost all RaW dependences.
+    const MicroResult base =
+        runCounterMicro(cfg(SystemMode::BaselineHtm), kThreads, 4000);
+    const ThreadStats agg = base.stats.aggregateThreads();
+    const Cycle raw =
+        agg.wastedByCause[size_t(WasteBucket::ReadAfterWrite)];
+    ASSERT_GT(agg.txAbortedCycles, 0u);
+    EXPECT_GT(double(raw) / double(agg.txAbortedCycles), 0.5);
+}
+
+TEST(MicroShape, SubsetGathersStillCorrect)
+{
+    MachineConfig c = cfg(SystemMode::CommTm);
+    c.gatherFanoutLimit = 4;
+    const MicroResult r = runRefcountMicro(c, kThreads, 16000);
+    EXPECT_TRUE(r.valid);
+    EXPECT_GT(r.stats.machine.gathers, 0u);
+}
+
+TEST(MicroShape, LabeledFractionSmallButImpactful)
+{
+    // Sec. VII: labeled instructions are rare yet their effect is
+    // large. On the counter microbenchmark the fraction is high by
+    // construction; verify the counters plumb through.
+    const MicroResult comm =
+        runCounterMicro(cfg(SystemMode::CommTm), 8, 2000);
+    const ThreadStats agg = comm.stats.aggregateThreads();
+    EXPECT_GT(agg.labeledInstrs, 0u);
+    EXPECT_LE(agg.labeledInstrs, agg.instrs);
+}
+
+} // namespace
+} // namespace commtm

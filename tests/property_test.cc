@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Property-based sweeps (parameterized gtest): system-level invariants
+ * that must hold for every (mode, thread-count, contention) point —
+ * counter sums, bounded-counter non-negativity, top-K correctness, and
+ * the microbenchmarks' internal validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/micro.h"
+#include "lib/bounded_counter.h"
+#include "lib/counter.h"
+#include "rt/machine.h"
+
+namespace commtm {
+namespace {
+
+struct Sweep {
+    SystemMode mode;
+    uint32_t threads;
+    uint32_t opsPerThread;
+};
+
+std::string
+sweepName(const ::testing::TestParamInfo<Sweep> &info)
+{
+    std::string name;
+    switch (info.param.mode) {
+      case SystemMode::BaselineHtm:    name = "Baseline"; break;
+      case SystemMode::CommTmNoGather: name = "NoGather"; break;
+      case SystemMode::CommTm:         name = "CommTM"; break;
+    }
+    return name + "_" + std::to_string(info.param.threads) + "t_" +
+           std::to_string(info.param.opsPerThread) + "ops";
+}
+
+class Property : public ::testing::TestWithParam<Sweep>
+{
+  protected:
+    MachineConfig
+    cfg() const
+    {
+        MachineConfig c;
+        c.numCores = std::max(GetParam().threads, 1u);
+        c.mode = GetParam().mode;
+        return c;
+    }
+};
+
+TEST_P(Property, CounterSumInvariant)
+{
+    const auto p = GetParam();
+    const MicroResult r =
+        runCounterMicro(cfg(), p.threads,
+                        uint64_t(p.threads) * p.opsPerThread);
+    EXPECT_TRUE(r.valid) << "observed " << r.observed << " expected "
+                         << r.expected;
+}
+
+TEST_P(Property, RefcountConservation)
+{
+    const auto p = GetParam();
+    const MicroResult r =
+        runRefcountMicro(cfg(), p.threads,
+                         uint64_t(p.threads) * p.opsPerThread, 4);
+    EXPECT_TRUE(r.valid) << "observed " << r.observed << " expected "
+                         << r.expected;
+}
+
+TEST_P(Property, ListMultisetInvariant)
+{
+    const auto p = GetParam();
+    const MicroResult r =
+        runListMicro(cfg(), p.threads,
+                     uint64_t(p.threads) * p.opsPerThread, 50, 4);
+    EXPECT_TRUE(r.valid) << "observed " << r.observed << " expected "
+                         << r.expected;
+}
+
+TEST_P(Property, OrderedPutMinimumInvariant)
+{
+    const auto p = GetParam();
+    const MicroResult r = runOputMicro(
+        cfg(), p.threads, uint64_t(p.threads) * p.opsPerThread);
+    EXPECT_TRUE(r.valid);
+}
+
+TEST_P(Property, TopKExactness)
+{
+    const auto p = GetParam();
+    const MicroResult r =
+        runTopkMicro(cfg(), p.threads,
+                     uint64_t(p.threads) * p.opsPerThread, 32);
+    EXPECT_TRUE(r.valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, Property,
+    ::testing::Values(Sweep{SystemMode::BaselineHtm, 1, 50},
+                      Sweep{SystemMode::BaselineHtm, 4, 50},
+                      Sweep{SystemMode::BaselineHtm, 16, 30},
+                      Sweep{SystemMode::CommTmNoGather, 4, 50},
+                      Sweep{SystemMode::CommTmNoGather, 16, 30},
+                      Sweep{SystemMode::CommTm, 1, 50},
+                      Sweep{SystemMode::CommTm, 4, 50},
+                      Sweep{SystemMode::CommTm, 16, 30},
+                      Sweep{SystemMode::CommTm, 32, 20},
+                      Sweep{SystemMode::CommTm, 64, 10}),
+    sweepName);
+
+/** Bounded counters never observe a negative value, under fuzzed
+ *  schedules driven by different machine seeds. */
+class BoundedFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BoundedFuzz, NeverNegativeAndConserving)
+{
+    MachineConfig c;
+    c.numCores = 12;
+    c.mode = SystemMode::CommTm;
+    c.seed = GetParam();
+    Machine m(c);
+    const Label b = BoundedCounter::defineLabel(m);
+    BoundedCounter counter(m, b, 3);
+    std::vector<int64_t> net(12, 0);
+    for (int t = 0; t < 12; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < 60; i++) {
+                if (rng.chance(0.45)) {
+                    counter.increment(ctx);
+                    net[t]++;
+                } else if (counter.decrement(ctx)) {
+                    net[t]--;
+                }
+            }
+        });
+    }
+    m.run();
+    int64_t expected = 3;
+    for (auto n : net)
+        expected += n;
+    EXPECT_EQ(counter.peek(m), expected);
+    EXPECT_GE(expected, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace commtm

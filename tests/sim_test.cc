@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: RNG, simulated memory,
+ * allocator, fibers, NoC latency model, and stats plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/noc.h"
+#include "sim/fiber.h"
+#include "sim/memory.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace commtm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(SimMemory, ZeroFilledByDefault)
+{
+    SimMemory m;
+    EXPECT_EQ(m.read<uint64_t>(0x1234), 0u);
+}
+
+TEST(SimMemory, ReadBackWritten)
+{
+    SimMemory m;
+    m.write<uint64_t>(0x1000, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(m.read<uint64_t>(0x1000), 0xdeadbeefcafef00dull);
+}
+
+TEST(SimMemory, CrossPageAccess)
+{
+    SimMemory m;
+    const Addr addr = SimMemory::kPageSize - 4;
+    m.write<uint64_t>(addr, 0x1122334455667788ull);
+    EXPECT_EQ(m.read<uint64_t>(addr), 0x1122334455667788ull);
+    // The halves landed on both pages.
+    EXPECT_NE(m.read<uint32_t>(addr), 0u);
+    EXPECT_NE(m.read<uint32_t>(addr + 4), 0u);
+}
+
+TEST(SimMemory, LineReadWrite)
+{
+    SimMemory m;
+    LineData line;
+    for (size_t i = 0; i < kLineSize; i++)
+        line[i] = uint8_t(i * 3);
+    m.writeLine(5, line);
+    EXPECT_EQ(m.readLine(5), line);
+}
+
+TEST(SimAllocator, RespectsAlignment)
+{
+    SimAllocator a;
+    EXPECT_EQ(a.alloc(3, 8) % 8, 0u);
+    EXPECT_EQ(a.alloc(1, 64) % 64, 0u);
+    EXPECT_EQ(a.allocLines(2) % kLineSize, 0u);
+}
+
+TEST(SimAllocator, NonOverlapping)
+{
+    SimAllocator a;
+    const Addr x = a.alloc(100);
+    const Addr y = a.alloc(100);
+    EXPECT_GE(y, x + 100);
+}
+
+TEST(Fiber, RunsToCompletion)
+{
+    int steps = 0;
+    Fiber f([&] { steps = 3; });
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(steps, 3);
+}
+
+TEST(Fiber, YieldAndResume)
+{
+    std::vector<int> trace;
+    Fiber *self = nullptr;
+    Fiber f([&] {
+        trace.push_back(1);
+        self->yield();
+        trace.push_back(2);
+        self->yield();
+        trace.push_back(3);
+    });
+    self = &f;
+    f.resume();
+    trace.push_back(10);
+    f.resume();
+    trace.push_back(20);
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(trace, (std::vector<int>{1, 10, 2, 20, 3}));
+}
+
+TEST(Fiber, InterleavesMultipleFibers)
+{
+    std::vector<int> trace;
+    Fiber *fa = nullptr, *fb = nullptr;
+    Fiber a([&] {
+        trace.push_back(1);
+        fa->yield();
+        trace.push_back(3);
+    });
+    Fiber b([&] {
+        trace.push_back(2);
+        fb->yield();
+        trace.push_back(4);
+    });
+    fa = &a;
+    fb = &b;
+    a.resume();
+    b.resume();
+    a.resume();
+    b.resume();
+    EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Noc, ZeroHopsSameTile)
+{
+    MachineConfig cfg;
+    NocModel noc(cfg);
+    EXPECT_EQ(noc.hops(5, 5), 0u);
+}
+
+TEST(Noc, ManhattanDistance)
+{
+    MachineConfig cfg; // 4x4 mesh
+    NocModel noc(cfg);
+    EXPECT_EQ(noc.hops(0, 15), 6u); // (0,0) -> (3,3)
+    EXPECT_EQ(noc.hops(0, 3), 3u);
+    EXPECT_EQ(noc.hops(1, 2), 1u);
+}
+
+TEST(Noc, LatencySymmetric)
+{
+    MachineConfig cfg;
+    NocModel noc(cfg);
+    for (uint32_t a = 0; a < 16; a++) {
+        for (uint32_t b = 0; b < 16; b++)
+            EXPECT_EQ(noc.latency(a, b), noc.latency(b, a));
+    }
+}
+
+TEST(Stats, WasteBucketMapping)
+{
+    EXPECT_EQ(wasteBucket(AbortCause::ReadAfterWrite),
+              WasteBucket::ReadAfterWrite);
+    EXPECT_EQ(wasteBucket(AbortCause::WriteAfterRead),
+              WasteBucket::WriteAfterRead);
+    EXPECT_EQ(wasteBucket(AbortCause::GatherAfterLabeled),
+              WasteBucket::GatherAfterLabeled);
+    EXPECT_EQ(wasteBucket(AbortCause::WriteAfterWrite),
+              WasteBucket::Others);
+    EXPECT_EQ(wasteBucket(AbortCause::Capacity), WasteBucket::Others);
+    EXPECT_EQ(wasteBucket(AbortCause::SelfDemotion), WasteBucket::Others);
+}
+
+TEST(Stats, AggregationSumsThreads)
+{
+    StatsSnapshot snap;
+    snap.threads.resize(2);
+    snap.threads[0].nonTxCycles = 10;
+    snap.threads[0].txCommittedCycles = 5;
+    snap.threads[1].nonTxCycles = 20;
+    snap.threads[1].txAbortedCycles = 7;
+    const ThreadStats agg = snap.aggregateThreads();
+    EXPECT_EQ(agg.nonTxCycles, 30u);
+    EXPECT_EQ(agg.txCommittedCycles, 5u);
+    EXPECT_EQ(agg.txAbortedCycles, 7u);
+    EXPECT_EQ(snap.runtimeCycles(), 27u); // max over threads
+    EXPECT_FALSE(snap.report().empty());
+}
+
+} // namespace
+} // namespace commtm
