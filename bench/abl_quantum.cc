@@ -1,9 +1,10 @@
 /**
  * @file
  * Ablation: timing-model sensitivity to the scheduling quantum (the
- * interleaving granularity of the simulator, DESIGN.md Sec. 2.1 —
- * zsim's bound-phase analog). If the reported speedups were artifacts
- * of the interleaving granularity, they would move with the quantum;
+ * interleaving granularity of the simulator, docs/ARCHITECTURE.md
+ * Sec. 2.1 — zsim's bound-phase analog). If the reported speedups were
+ * artifacts of the interleaving granularity, they would move with the
+ * quantum;
  * stable results across two orders of magnitude validate the model.
  */
 

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * boruvka: minimum spanning forest where each component's
+ * minimum-weight outgoing edge is an ordered put (Table II),
+ * validated against a host-side Kruskal reference.
+ */
+
 #include "apps/boruvka.h"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * genome: gene sequencing (STAMP-derived, Table II). Deduplicates
+ * segments into a resizable hash set, then matches overlaps; the
+ * set's remaining-space counter uses gathers.
+ */
+
 #include "apps/genome.h"
 
 #include <unordered_set>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Host-side graph utilities shared by the graph applications:
+ * generators (uniform random, RMAT-style) and reference algorithms
+ * for validation.
+ */
+
 #include "apps/graph.h"
 
 #include <algorithm>

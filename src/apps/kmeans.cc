@@ -1,3 +1,9 @@
+/**
+ * @file
+ * kmeans: clustering with commutative FP-ADD centroid accumulations
+ * (STAMP-derived, Table II) — the paper's strongest result.
+ */
+
 #include "apps/kmeans.h"
 
 #include <cmath>

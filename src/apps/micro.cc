@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Microbenchmark drivers for Figs. 9-14: counter increments, reference
+ * counting, list enqueue/dequeue mixes, ordered puts, and top-K
+ * insertion, each with internal functional validation.
+ */
+
 #include "apps/micro.h"
 
 #include <algorithm>

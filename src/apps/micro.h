@@ -49,7 +49,7 @@ MicroResult runRefcountMicro(const MachineConfig &cfg, uint32_t threads,
  * The paper's 10M-op mixed run builds a standing buffer (failed
  * dequeues tilt the enq/deq balance, so the list length random-walks
  * upward); scaled-down runs must seed that buffer explicitly or the
- * cold-start gather burst dominates (see EXPERIMENTS.md).
+ * cold-start gather burst dominates (see docs/BENCHMARKS.md).
  */
 MicroResult runListMicro(const MachineConfig &cfg, uint32_t threads,
                          uint64_t total_ops, uint32_t enqueue_pct,

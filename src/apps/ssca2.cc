@@ -1,3 +1,10 @@
+/**
+ * @file
+ * ssca2: graph kernel building an adjacency structure (STAMP-derived,
+ * Table II). Shared commutative updates are rare; serves as the
+ * control case where CommTM must simply not hurt.
+ */
+
 #include "apps/ssca2.h"
 
 #include <vector>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * vacation: travel-reservation database over resizable hash tables
+ * (STAMP-derived, Table II). Uses gathers via the tables'
+ * remaining-space counters.
+ */
+
 #include "apps/vacation.h"
 
 #include <vector>

@@ -147,7 +147,8 @@ makeAdd(std::string name)
         // floor, sharers whose fair share rounds to zero donate
         // nothing; if every copy is small the gather returns zero and
         // the caller falls back to a conventional load, whose full
-        // reduction re-concentrates the value (see DESIGN.md Sec. 6).
+        // reduction re-concentrates the value (see
+        // docs/ARCHITECTURE.md Sec. 6).
         constexpr size_t n = kLineSize / sizeof(ElemT);
         auto *loc = reinterpret_cast<ElemT *>(local.data());
         auto *dst = reinterpret_cast<ElemT *>(out.data());

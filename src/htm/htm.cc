@@ -1,3 +1,10 @@
+/**
+ * @file
+ * HtmManager implementation: transaction lifecycle, speculative-set
+ * tracking, write-buffer commit into SimMemory / U copies, remote
+ * aborts, lazy commit-time arbitration, and randomized backoff.
+ */
+
 #include "htm/htm.h"
 
 #include <algorithm>

@@ -1,3 +1,11 @@
+/**
+ * @file
+ * Bounded non-negative counter implementation: a bounded-ADD label
+ * whose splitter donates a fair share of the local value, and the
+ * paper's conditionally-commutative decrement (local check, then
+ * gather, then full-read fallback; Sec. IV).
+ */
+
 #include "lib/bounded_counter.h"
 
 namespace commtm {

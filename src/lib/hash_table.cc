@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Resizable chained hash table implementation: transactional
+ * bucket-chain inserts/lookups, the bounded remaining-space counter,
+ * and non-speculative resizing that aborts racing inserters.
+ */
+
 #include "lib/hash_table.h"
 
 namespace commtm {

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * CommList implementation (Fig. 11): per-core partial lists under the
+ * reducible descriptor, a reduction that concatenates partial lists,
+ * and a splitter that donates the head element to a gathering dequeuer.
+ */
+
 #include "lib/linked_list.h"
 
 namespace commtm {

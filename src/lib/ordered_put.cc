@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Ordered-put implementation: a MIN-over-keys label where the reduction
+ * keeps the lower-key pair, making priority updates commutative.
+ */
+
 #include "lib/ordered_put.h"
 
 namespace commtm {

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Top-K set implementation (Fig. 15): per-core min-heaps of retained
+ * elements under the reducible descriptor; the reduction merges the
+ * incoming heap's elements; reads drain and rebuild the merged heap.
+ */
+
 #include "lib/topk.h"
 
 #include <algorithm>

@@ -1,3 +1,11 @@
+/**
+ * @file
+ * MemorySystem implementation: the MESI+U protocol state machine
+ * (GETS/GETX/GETU/gather directory handlers), reductions and splits on
+ * the shadow thread, timestamp conflict resolution (battle), private-
+ * and shared-cache evictions, and latency accounting over the NoC.
+ */
+
 #include "mem/coherence.h"
 
 #include <algorithm>
@@ -283,7 +291,7 @@ MemorySystem::battle(const Access &req, CoreId victim, Addr line,
         return true;
     // Lazy (commit-time) detection: a speculative request never flags
     // read/write conflicts; the committing transaction arbitrates.
-    // Reductions and splits stay immediate (DESIGN.md Sec. 6).
+    // Reductions and splits stay immediate (docs/ARCHITECTURE.md Sec. 6).
     if (cfg_.conflictDetection == ConflictDetection::Lazy && req.isTx &&
         (kind == InvalKind::ForRead || kind == InvalKind::ForWrite ||
          kind == InvalKind::ForLabeled)) {
@@ -447,8 +455,8 @@ void
 MemorySystem::uEvict(CoreId core, Addr line, Cycle &lat)
 {
     // Guards: a recursive handler access may already have reduced this
-    // core's copy away (see DESIGN.md Sec. 2.3); then there is nothing
-    // left to do.
+    // core's copy away (see docs/ARCHITECTURE.md Sec. 2.3); then there
+    // is nothing left to do.
     auto &copies = cores_[core]->uCopies;
     auto it = copies.find(line);
     if (it == copies.end())

@@ -98,7 +98,7 @@ class HtmHooks
 /**
  * The whole simulated memory hierarchy and coherence protocol. All
  * methods execute atomically in simulated time (zsim-style simple-core
- * model; see DESIGN.md Sec. 2.1).
+ * model; see docs/ARCHITECTURE.md Sec. 2.1).
  */
 class MemorySystem
 {

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Machine implementation: thread creation, the deterministic
+ * smallest-next-cycle scheduler loop, barriers, txRun's
+ * begin/commit/backoff-retry driver, and stats collection.
+ */
+
 #include "rt/machine.h"
 
 #include <algorithm>

@@ -30,7 +30,7 @@ enum class SystemMode {
  * silently, and the committing transaction aborts every concurrent
  * transaction whose read/write set intersects its write set.
  * U-state interactions (reductions, gathers) are handled immediately in
- * both (see DESIGN.md Sec. 6).
+ * both (see docs/ARCHITECTURE.md Sec. 6).
  */
 enum class ConflictDetection {
     Eager,
@@ -109,7 +109,7 @@ struct MachineConfig {
 
     /** Interleaving granularity: a running thread yields once it gets
      *  this many cycles ahead of the next-ready thread (zsim-style
-     *  bound phase; see DESIGN.md Sec. 2.1). */
+     *  bound phase; see docs/ARCHITECTURE.md Sec. 2.1). */
     Cycle schedQuantum = 100;
 
     uint64_t seed = 0x5eed;

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * ucontext-based fiber implementation. The 64-bit entry pointer is
+ * split across two unsigned makecontext arguments for portability.
+ */
+
 #include "sim/fiber.h"
 
 #include <cassert>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Statistics aggregation and the human-readable report, plus the
+ * abort-cause and waste-bucket name tables (Fig. 18 categories).
+ */
+
 #include "sim/stats.h"
 
 #include <algorithm>
