@@ -6,6 +6,20 @@
  * results (cycles, speedup vs. the baseline HTM at 1 thread, abort and
  * traffic breakdowns). Wall time of the rows is simulator host time
  * and is not meaningful; read the counters.
+ *
+ * Perf-baseline subsystem: because every run is a deterministic
+ * function of the seed, exact counter values can be checked in
+ * (bench/baselines.json) and compared on every CI run. Figure benches
+ * use COMMTM_BENCH_MAIN(), which accepts
+ *
+ *   --check-baseline[=path]   after running, compare each row's
+ *                             sim_cycles/commits/aborts (exact) and
+ *                             speedup (1e-6 relative) against the
+ *                             baseline file; nonzero exit on mismatch.
+ *   --write-baseline[=path]   regenerate this binary's families in the
+ *                             baseline file, preserving the others.
+ *
+ * See docs/BENCHMARKS.md ("Perf baselines and regression checking").
  */
 
 #ifndef COMMTM_BENCH_BENCH_UTIL_H
@@ -13,11 +27,26 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "sim/config.h"
 #include "sim/stats.h"
+
+#ifndef COMMTM_BASELINE_FILE
+#define COMMTM_BASELINE_FILE "bench/baselines.json"
+#endif
 
 namespace commtm {
 namespace benchutil {
@@ -51,7 +80,334 @@ referenceCycles(const std::string &family)
     return cache[family];
 }
 
-/** Fill the standard counters every figure reports. */
+// ---------------------------------------------------------------------
+// Baseline recording and checking
+// ---------------------------------------------------------------------
+
+namespace baseline {
+
+/** Exact counters of one benchmark row. Integers compare exactly;
+ *  speedup is a formatted double and compares with a small relative
+ *  tolerance (see docs/BENCHMARKS.md). */
+struct Entry {
+    uint64_t simCycles = 0;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    double speedup = 0.0;
+};
+
+/** family -> row label ("Baseline @128t") -> counters. */
+using Family = std::map<std::string, Entry>;
+using File = std::map<std::string, Family>;
+
+/** Rows recorded by reportStats() in this process, in run order. */
+struct Recorded {
+    std::string family;
+    std::string row;
+    Entry entry;
+};
+
+inline std::vector<Recorded> &
+recordedRows()
+{
+    static std::vector<Recorded> rows;
+    return rows;
+}
+
+// --- minimal JSON subset reader (objects, string keys, numbers) ---
+// The baseline file is machine-written by --write-baseline; this
+// parser accepts exactly that shape (nested objects of numbers) and
+// rejects everything else with a position-tagged error.
+
+class Parser
+{
+  public:
+    Parser(const char *begin, const char *end) : p_(begin), end_(end) {}
+
+    bool
+    parseFile(File &out, std::string &err)
+    {
+        skipWs();
+        if (!expect('{', err))
+            return false;
+        skipWs();
+        if (peek() == '}')
+            return next(), true;
+        for (;;) {
+            std::string family;
+            if (!parseString(family, err) || !expectColon(err))
+                return false;
+            if (!parseFamily(out[family], err))
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                next();
+                skipWs();
+                continue;
+            }
+            return expect('}', err);
+        }
+    }
+
+  private:
+    bool
+    parseFamily(Family &out, std::string &err)
+    {
+        skipWs();
+        if (!expect('{', err))
+            return false;
+        skipWs();
+        if (peek() == '}')
+            return next(), true;
+        for (;;) {
+            std::string row;
+            if (!parseString(row, err) || !expectColon(err))
+                return false;
+            if (!parseEntry(out[row], err))
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                next();
+                skipWs();
+                continue;
+            }
+            return expect('}', err);
+        }
+    }
+
+    bool
+    parseEntry(Entry &out, std::string &err)
+    {
+        skipWs();
+        if (!expect('{', err))
+            return false;
+        for (;;) {
+            std::string key;
+            double value = 0;
+            if (!parseString(key, err) || !expectColon(err) ||
+                !parseNumber(value, err))
+                return false;
+            if (key == "sim_cycles")
+                out.simCycles = uint64_t(value);
+            else if (key == "commits")
+                out.commits = uint64_t(value);
+            else if (key == "aborts")
+                out.aborts = uint64_t(value);
+            else if (key == "speedup")
+                out.speedup = value;
+            else
+                return fail(err, "unknown counter key '" + key + "'");
+            skipWs();
+            if (peek() == ',') {
+                next();
+                skipWs();
+                continue;
+            }
+            return expect('}', err);
+        }
+    }
+
+    bool
+    parseString(std::string &out, std::string &err)
+    {
+        skipWs();
+        if (!expect('"', err))
+            return false;
+        out.clear();
+        while (p_ < end_ && *p_ != '"') {
+            if (*p_ == '\\')
+                return fail(err, "escapes are not used in baselines");
+            out.push_back(*p_++);
+        }
+        return expect('"', err);
+    }
+
+    bool
+    parseNumber(double &out, std::string &err)
+    {
+        skipWs();
+        char *parse_end = nullptr;
+        out = std::strtod(p_, &parse_end);
+        if (parse_end == p_)
+            return fail(err, "expected a number");
+        p_ = parse_end;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (p_ < end_ && std::isspace(static_cast<unsigned char>(*p_)))
+            p_++;
+    }
+
+    char peek() const { return p_ < end_ ? *p_ : '\0'; }
+    void next() { p_++; }
+
+    bool
+    expect(char c, std::string &err)
+    {
+        skipWs();
+        if (peek() != c) {
+            return fail(err, std::string("expected '") + c + "', got '" +
+                                 (p_ < end_ ? std::string(1, *p_) : "EOF") +
+                                 "'");
+        }
+        next();
+        return true;
+    }
+
+    bool
+    expectColon(std::string &err)
+    {
+        return expect(':', err);
+    }
+
+    bool
+    fail(std::string &err, const std::string &what)
+    {
+        err = what;
+        return false;
+    }
+
+    const char *p_;
+    const char *end_;
+};
+
+inline bool
+load(const std::string &path, File &out, std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    Parser parser(text.data(), text.data() + text.size());
+    if (!parser.parseFile(out, err)) {
+        err = path + ": " + err;
+        return false;
+    }
+    return true;
+}
+
+inline bool
+save(const std::string &path, const File &file)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    char num[64];
+    out << "{\n";
+    bool first_family = true;
+    for (const auto &[family, rows] : file) {
+        if (!first_family)
+            out << ",\n";
+        first_family = false;
+        out << "  \"" << family << "\": {\n";
+        bool first_row = true;
+        for (const auto &[row, e] : rows) {
+            if (!first_row)
+                out << ",\n";
+            first_row = false;
+            // %.17g round-trips the double exactly through strtod.
+            std::snprintf(num, sizeof(num), "%.17g", e.speedup);
+            out << "    \"" << row << "\": {\"sim_cycles\": " << e.simCycles
+                << ", \"commits\": " << e.commits
+                << ", \"aborts\": " << e.aborts << ", \"speedup\": " << num
+                << "}";
+        }
+        out << "\n  }";
+    }
+    out << "\n}\n";
+    return bool(out);
+}
+
+/** Merge this run's rows into @p file (replacing recorded families). */
+inline void
+mergeRecorded(File &file)
+{
+    for (const auto &r : recordedRows())
+        file[r.family].erase(r.row); // replaced below; keeps other rows
+    for (const auto &r : recordedRows())
+        file[r.family][r.row] = r.entry;
+}
+
+/**
+ * Compare this run's rows against @p file. Counters are exact;
+ * speedup uses a 1e-6 relative tolerance and is skipped entirely when
+ * @p filtered (a --benchmark_filter run may have skipped the family's
+ * reference row, which redefines every speedup in the family).
+ */
+inline bool
+check(const File &file, bool filtered)
+{
+    bool ok = true;
+    size_t checked = 0;
+    const auto complain = [&](const Recorded &r, const char *what,
+                              const std::string &got,
+                              const std::string &want) {
+        std::fprintf(stderr,
+                     "baseline MISMATCH: [%s] %s: %s = %s, baseline says "
+                     "%s\n",
+                     r.family.c_str(), r.row.c_str(), what, got.c_str(),
+                     want.c_str());
+        ok = false;
+    };
+    for (const auto &r : recordedRows()) {
+        const auto fam = file.find(r.family);
+        if (fam == file.end()) {
+            std::fprintf(stderr,
+                         "baseline MISSING family '%s' — regenerate with "
+                         "--write-baseline\n",
+                         r.family.c_str());
+            ok = false;
+            continue;
+        }
+        const auto row = fam->second.find(r.row);
+        if (row == fam->second.end()) {
+            std::fprintf(stderr,
+                         "baseline MISSING row [%s] %s — regenerate with "
+                         "--write-baseline\n",
+                         r.family.c_str(), r.row.c_str());
+            ok = false;
+            continue;
+        }
+        const Entry &want = row->second;
+        const Entry &got = r.entry;
+        checked++;
+        if (got.simCycles != want.simCycles)
+            complain(r, "sim_cycles", std::to_string(got.simCycles),
+                     std::to_string(want.simCycles));
+        if (got.commits != want.commits)
+            complain(r, "commits", std::to_string(got.commits),
+                     std::to_string(want.commits));
+        if (got.aborts != want.aborts)
+            complain(r, "aborts", std::to_string(got.aborts),
+                     std::to_string(want.aborts));
+        if (!filtered) {
+            const double tol =
+                1e-6 * std::max(std::fabs(got.speedup),
+                                std::fabs(want.speedup));
+            if (std::fabs(got.speedup - want.speedup) > tol)
+                complain(r, "speedup", std::to_string(got.speedup),
+                         std::to_string(want.speedup));
+        }
+    }
+    if (ok) {
+        std::fprintf(stderr,
+                     "baseline check PASSED: %zu rows exact%s\n", checked,
+                     filtered ? " (speedup skipped: filtered run)" : "");
+    }
+    return ok;
+}
+
+} // namespace baseline
+
+/** Fill the standard counters every figure reports (no row label, no
+ *  baseline recording — ablation/extension benches label themselves). */
 inline void
 reportStats(benchmark::State &state, const std::string &family,
             const StatsSnapshot &stats)
@@ -103,6 +459,31 @@ reportStats(benchmark::State &state, const std::string &family,
     state.counters["gathers"] = double(stats.machine.gathers);
 }
 
+/**
+ * Figure-bench variant: fill the standard counters, label the row
+ * "<Mode> @<threads>t", and record the exact counters for the
+ * baseline subsystem (--check-baseline / --write-baseline).
+ */
+inline void
+reportStats(benchmark::State &state, const std::string &family,
+            SystemMode mode, uint32_t threads, const StatsSnapshot &stats)
+{
+    reportStats(state, family, stats);
+    const ThreadStats agg = stats.aggregateThreads();
+    const std::string row = std::string(modeName(mode)) + " @" +
+                            std::to_string(threads) + "t";
+    state.SetLabel(row);
+    baseline::Recorded rec;
+    rec.family = family;
+    rec.row = row;
+    rec.entry.simCycles = stats.runtimeCycles();
+    rec.entry.commits = agg.txCommitted;
+    rec.entry.aborts = agg.txAborted;
+    rec.entry.speedup =
+        referenceCycles(family) / double(stats.runtimeCycles());
+    baseline::recordedRows().push_back(rec);
+}
+
 /** Thread counts swept in the paper's figures (x-axes of Figs. 9-16). */
 inline const std::vector<int64_t> &
 threadSweep()
@@ -120,7 +501,92 @@ appThreadSweep()
     return sweep;
 }
 
+/**
+ * main() for figure benches: google-benchmark plus the
+ * --check-baseline / --write-baseline modes described in the file
+ * header. Unrecognized flags still error out via benchmark itself.
+ */
+inline int
+benchMain(int argc, char **argv)
+{
+    bool check_mode = false;
+    bool write_mode = false;
+    bool filtered = false;
+    std::string path = COMMTM_BASELINE_FILE;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        const auto value_of = [&](const char *flag) {
+            const std::string prefix = std::string(flag) + "=";
+            if (arg.rfind(prefix, 0) == 0) {
+                path = arg.substr(prefix.size());
+                return true;
+            }
+            return arg == flag;
+        };
+        if (value_of("--check-baseline")) {
+            check_mode = true;
+        } else if (value_of("--write-baseline")) {
+            write_mode = true;
+        } else {
+            if (arg.rfind("--benchmark_filter", 0) == 0)
+                filtered = true;
+            args.push_back(argv[i]);
+        }
+    }
+    int bench_argc = int(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (write_mode) {
+        if (filtered) {
+            // A filtered run latches the wrong speedup reference
+            // (referenceCycles fills from the first row that runs),
+            // which would poison the written speedups.
+            std::fprintf(stderr,
+                         "--write-baseline refuses to run with "
+                         "--benchmark_filter: run the full sweep\n");
+            return 1;
+        }
+        baseline::File file;
+        std::string err;
+        baseline::load(path, file, err); // absent/empty file is fine
+        baseline::mergeRecorded(file);
+        if (!baseline::save(path, file)) {
+            std::fprintf(stderr, "cannot write baseline file %s\n",
+                         path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "baseline updated: %s (%zu rows)\n",
+                     path.c_str(),
+                     baseline::recordedRows().size());
+    }
+    if (check_mode) {
+        baseline::File file;
+        std::string err;
+        if (!baseline::load(path, file, err)) {
+            std::fprintf(stderr, "baseline check FAILED: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        if (!baseline::check(file, filtered))
+            return 1;
+    }
+    return 0;
+}
+
 } // namespace benchutil
 } // namespace commtm
+
+/** Use instead of BENCHMARK_MAIN() in benches with checked-in baselines. */
+#define COMMTM_BENCH_MAIN()                                               \
+    int main(int argc, char **argv)                                       \
+    {                                                                     \
+        return commtm::benchutil::benchMain(argc, argv);                  \
+    }
 
 #endif // COMMTM_BENCH_BENCH_UTIL_H

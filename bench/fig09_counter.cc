@@ -25,9 +25,7 @@ BM_Fig09_Counter(benchmark::State &state)
                             kTotalOps);
     if (!r.valid)
         state.SkipWithError("counter validation failed");
-    benchutil::reportStats(state, "fig09", r.stats);
-    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
-                   std::to_string(threads) + "t");
+    benchutil::reportStats(state, "fig09", mode, threads, r.stats);
 }
 
 } // namespace
@@ -40,4 +38,4 @@ BENCHMARK(commtm::BM_Fig09_Counter)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+COMMTM_BENCH_MAIN();

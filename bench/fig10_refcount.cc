@@ -30,9 +30,7 @@ BM_Fig10_Refcount(benchmark::State &state)
                              kTotalOps, kObjects);
     if (!r.valid)
         state.SkipWithError("refcount validation failed");
-    benchutil::reportStats(state, "fig10", r.stats);
-    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
-                   std::to_string(threads) + "t");
+    benchutil::reportStats(state, "fig10", mode, threads, r.stats);
 }
 
 } // namespace
@@ -46,4 +44,4 @@ BENCHMARK(commtm::BM_Fig10_Refcount)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+COMMTM_BENCH_MAIN();

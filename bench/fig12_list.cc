@@ -31,9 +31,7 @@ runListBench(benchmark::State &state, const std::string &family,
                          enqueue_pct, prefill);
     if (!r.valid)
         state.SkipWithError("list validation failed");
-    benchutil::reportStats(state, family, r.stats);
-    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
-                   std::to_string(threads) + "t");
+    benchutil::reportStats(state, family, mode, threads, r.stats);
 }
 
 void
@@ -65,4 +63,4 @@ BENCHMARK(commtm::BM_Fig12b_Mixed)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+COMMTM_BENCH_MAIN();

@@ -25,9 +25,7 @@ BM_Fig13_OrderedPut(benchmark::State &state)
         r = runOputMicro(benchutil::machineCfg(mode), threads, kTotalOps);
     if (!r.valid)
         state.SkipWithError("ordered-put validation failed");
-    benchutil::reportStats(state, "fig13", r.stats);
-    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
-                   std::to_string(threads) + "t");
+    benchutil::reportStats(state, "fig13", mode, threads, r.stats);
 }
 
 } // namespace
@@ -40,4 +38,4 @@ BENCHMARK(commtm::BM_Fig13_OrderedPut)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+COMMTM_BENCH_MAIN();

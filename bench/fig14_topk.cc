@@ -26,9 +26,7 @@ BM_Fig14_TopK(benchmark::State &state)
                          kK);
     if (!r.valid)
         state.SkipWithError("top-K validation failed");
-    benchutil::reportStats(state, "fig14", r.stats);
-    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
-                   std::to_string(threads) + "t");
+    benchutil::reportStats(state, "fig14", mode, threads, r.stats);
 }
 
 } // namespace
@@ -41,4 +39,4 @@ BENCHMARK(commtm::BM_Fig14_TopK)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+COMMTM_BENCH_MAIN();

@@ -26,10 +26,8 @@ BM_Fig16_Boruvka(benchmark::State &state)
         r = runBoruvka(benchutil::machineCfg(mode), threads, cfg);
     if (!r.valid())
         state.SkipWithError("MST weight mismatch vs Kruskal");
-    benchutil::reportStats(state, "fig16_boruvka", r.stats);
+    benchutil::reportStats(state, "fig16_boruvka", mode, threads, r.stats);
     state.counters["rounds"] = r.rounds;
-    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
-                   std::to_string(threads) + "t");
 }
 
 } // namespace
@@ -42,4 +40,4 @@ BENCHMARK(commtm::BM_Fig16_Boruvka)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+COMMTM_BENCH_MAIN();

@@ -27,10 +27,8 @@ BM_Fig16_Genome(benchmark::State &state)
         r = runGenome(benchutil::machineCfg(mode), threads, cfg);
     if (!r.valid())
         state.SkipWithError("genome dedup/link mismatch");
-    benchutil::reportStats(state, "fig16_genome", r.stats);
+    benchutil::reportStats(state, "fig16_genome", mode, threads, r.stats);
     state.counters["resizes"] = double(r.tableResizes);
-    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
-                   std::to_string(threads) + "t");
 }
 
 } // namespace
@@ -44,4 +42,4 @@ BENCHMARK(commtm::BM_Fig16_Genome)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+COMMTM_BENCH_MAIN();

@@ -26,10 +26,8 @@ BM_Fig16_Kmeans(benchmark::State &state)
         r = runKmeans(benchutil::machineCfg(mode), threads, cfg);
     if (!r.valid(cfg.numPoints))
         state.SkipWithError("kmeans population mismatch");
-    benchutil::reportStats(state, "fig16_kmeans", r.stats);
+    benchutil::reportStats(state, "fig16_kmeans", mode, threads, r.stats);
     state.counters["iterations"] = r.iterations;
-    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
-                   std::to_string(threads) + "t");
 }
 
 } // namespace
@@ -42,4 +40,4 @@ BENCHMARK(commtm::BM_Fig16_Kmeans)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+COMMTM_BENCH_MAIN();

@@ -26,9 +26,7 @@ BM_Fig16_Ssca2(benchmark::State &state)
         r = runSsca2(benchutil::machineCfg(mode), threads, cfg);
     if (!r.valid())
         state.SkipWithError("ssca2 adjacency inconsistent");
-    benchutil::reportStats(state, "fig16_ssca2", r.stats);
-    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
-                   std::to_string(threads) + "t");
+    benchutil::reportStats(state, "fig16_ssca2", mode, threads, r.stats);
 }
 
 } // namespace
@@ -41,4 +39,4 @@ BENCHMARK(commtm::BM_Fig16_Ssca2)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+COMMTM_BENCH_MAIN();

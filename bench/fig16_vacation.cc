@@ -26,10 +26,8 @@ BM_Fig16_Vacation(benchmark::State &state)
         r = runVacation(benchutil::machineCfg(mode), threads, cfg);
     if (!r.valid())
         state.SkipWithError("vacation inventory not conserved");
-    benchutil::reportStats(state, "fig16_vacation", r.stats);
+    benchutil::reportStats(state, "fig16_vacation", mode, threads, r.stats);
     state.counters["reservations"] = double(r.reservationsMade);
-    state.SetLabel(std::string(benchutil::modeName(mode)) + " @" +
-                   std::to_string(threads) + "t");
 }
 
 } // namespace
@@ -43,4 +41,4 @@ BENCHMARK(commtm::BM_Fig16_Vacation)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+COMMTM_BENCH_MAIN();

@@ -16,7 +16,7 @@ HtmManager::HtmManager(const MachineConfig &cfg, MemorySystem &mem,
                        SimMemory &memory)
     : cfg_(cfg), mem_(mem), memory_(memory), txs_(cfg.numCores)
 {
-    mem_.setHtm(this);
+    mem_.setHtmManager(this);
 }
 
 void
@@ -53,8 +53,11 @@ HtmManager::lazyArbitrate(CoreId committer)
     // committer wins against every concurrent transaction that read or
     // wrote a line it is about to publish. Labeled (commutative) users
     // of the same data do not conflict with each other; they only lose
-    // to conventional writes.
+    // to conventional writes. Victims are scanned in core order and
+    // each victim's conflict is attributed to the lowest-addressed
+    // conflicting line, so the abort-cause counters are deterministic.
     Tx &me = txs_[committer];
+    const std::vector<Addr> write_lines = me.writeSet.sortedKeys();
     for (CoreId other = 0; other < CoreId(txs_.size()); other++) {
         if (other == committer)
             continue;
@@ -63,18 +66,18 @@ HtmManager::lazyArbitrate(CoreId committer)
             continue;
         AbortCause cause = AbortCause::WriteAfterRead;
         bool conflict = false;
-        for (Addr line : me.writeSet) {
-            if (o.writeSet.count(line)) {
+        for (Addr line : write_lines) {
+            if (o.writeSet.contains(line)) {
                 conflict = true;
                 cause = AbortCause::WriteAfterWrite;
                 break;
             }
-            if (o.readSet.count(line)) {
+            if (o.readSet.contains(line)) {
                 conflict = true;
                 cause = AbortCause::WriteAfterRead;
                 break;
             }
-            if (o.labeledSet.count(line)) {
+            if (o.labeledSet.contains(line)) {
                 conflict = true;
                 cause = AbortCause::LabeledConflict;
                 break;
@@ -101,7 +104,8 @@ HtmManager::commit(CoreId core)
         // Publish buffered conventional writes: acquire each written
         // line exclusively with a non-speculative store, which also
         // invalidates remaining sharers. Labeled lines stay in U.
-        for (Addr line : tx.writeSet) {
+        // Address order keeps publication latency deterministic.
+        for (Addr line : tx.writeSet.sortedKeys()) {
             Access a;
             a.core = core;
             a.addr = lineBase(line);
@@ -115,19 +119,18 @@ HtmManager::commit(CoreId core)
     // Lazy versioning: make buffered speculative writes visible. Writes
     // to lines this core holds in U commit into the core's reducible
     // copy; everything else commits into simulated memory (Fig. 5).
-    tx.wb.forEach([&](Addr line, const std::array<uint8_t, kLineSize> &data,
-                      const std::array<bool, kLineSize> &mask) {
+    tx.wb.forEach([&](Addr line, const WriteBuffer::Entry &e) {
         if (mem_.coreHasU(core, line)) {
             LineData &copy = mem_.uCopy(core, line);
             for (size_t i = 0; i < kLineSize; i++) {
-                if (mask[i])
-                    copy[i] = data[i];
+                if (e.mask & (uint64_t(1) << i))
+                    copy[i] = e.data[i];
             }
         } else {
             LineData committed = memory_.readLine(line);
             for (size_t i = 0; i < kLineSize; i++) {
-                if (mask[i])
-                    committed[i] = data[i];
+                if (e.mask & (uint64_t(1) << i))
+                    committed[i] = e.data[i];
             }
             memory_.writeLine(line, committed);
         }
@@ -166,25 +169,6 @@ HtmManager::finish(CoreId core)
     tx.demoteLabeled = false;
 }
 
-bool
-HtmManager::inTx(CoreId c) const
-{
-    return txs_[c].active && !txs_[c].doomed;
-}
-
-Timestamp
-HtmManager::txTs(CoreId c) const
-{
-    assert(txs_[c].active);
-    return txs_[c].ts;
-}
-
-bool
-HtmManager::specModified(CoreId c, Addr line) const
-{
-    return txs_[c].active && txs_[c].wb.touches(line);
-}
-
 void
 HtmManager::remoteAbort(CoreId victim, AbortCause cause)
 {
@@ -198,25 +182,6 @@ HtmManager::remoteAbort(CoreId victim, AbortCause cause)
     // discards its buffered writes and unwinds when next scheduled.
     tx.wb.clear();
     releaseSpecSets(tx, victim);
-}
-
-void
-HtmManager::noteSpecLine(CoreId c, Addr line, SpecKind kind)
-{
-    Tx &tx = txs_[c];
-    assert(tx.active);
-    tx.specLines.push_back(line);
-    switch (kind) {
-      case SpecKind::Read:
-        tx.readSet.insert(line);
-        break;
-      case SpecKind::Write:
-        tx.writeSet.insert(line);
-        break;
-      case SpecKind::Labeled:
-        tx.labeledSet.insert(line);
-        break;
-    }
 }
 
 } // namespace commtm

@@ -8,13 +8,14 @@
 #ifndef COMMTM_HTM_HTM_H
 #define COMMTM_HTM_HTM_H
 
-#include <unordered_set>
+#include <cassert>
 #include <vector>
 
 #include "htm/abort.h"
 #include "htm/write_buffer.h"
 #include "mem/coherence.h"
 #include "sim/config.h"
+#include "sim/flat_map.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 #include "sim/types.h"
@@ -24,8 +25,14 @@ namespace commtm {
 /**
  * Per-machine transaction manager. One transaction context per core
  * (the paper's HTM is single-transaction-per-hardware-thread).
+ *
+ * HtmManager is the only production implementation of HtmHooks and is
+ * final: MemorySystem dispatches to it directly on the access fast
+ * path (see MemorySystem::setHtmManager), devirtualizing the hook
+ * calls. The HtmHooks interface remains for tests that install
+ * instrumented hooks.
  */
-class HtmManager : public HtmHooks
+class HtmManager final : public HtmHooks
 {
   public:
     HtmManager(const MachineConfig &cfg, MemorySystem &mem,
@@ -50,6 +57,8 @@ class HtmManager : public HtmHooks
      * (Sec. III-D): the committer aborts every concurrent transaction
      * whose read/write/labeled set intersects its write set, and its
      * buffered writes are made public with non-speculative stores.
+     * Both walks visit lines in ascending address order, so victim
+     * order and publication order are platform-independent.
      * @return extra commit latency (lazy write publication); 0 in
      *         eager mode, where the writes already own their lines.
      */
@@ -81,11 +90,47 @@ class HtmManager : public HtmHooks
     WriteBuffer &writeBuffer(CoreId core) { return txs_[core].wb; }
 
     // --- HtmHooks (called by the coherence protocol) ---
-    bool inTx(CoreId c) const override;
-    Timestamp txTs(CoreId c) const override;
-    bool specModified(CoreId c, Addr line) const override;
-    void remoteAbort(CoreId victim, AbortCause cause) override;
-    void noteSpecLine(CoreId c, Addr line, SpecKind kind) override;
+    // Inline and final: MemorySystem's direct-dispatch path relies on
+    // these bodies being visible and non-virtual at the call site.
+    bool
+    inTx(CoreId c) const final
+    {
+        return txs_[c].active && !txs_[c].doomed;
+    }
+
+    Timestamp
+    txTs(CoreId c) const final
+    {
+        assert(txs_[c].active);
+        return txs_[c].ts;
+    }
+
+    bool
+    specModified(CoreId c, Addr line) const final
+    {
+        return txs_[c].active && txs_[c].wb.touches(line);
+    }
+
+    void remoteAbort(CoreId victim, AbortCause cause) final;
+
+    void
+    noteSpecLine(CoreId c, Addr line, SpecKind kind) final
+    {
+        Tx &tx = txs_[c];
+        assert(tx.active);
+        tx.specLines.push_back(line);
+        switch (kind) {
+          case SpecKind::Read:
+            tx.readSet.insert(line);
+            break;
+          case SpecKind::Write:
+            tx.writeSet.insert(line);
+            break;
+          case SpecKind::Labeled:
+            tx.labeledSet.insert(line);
+            break;
+        }
+    }
 
   private:
     struct Tx {
@@ -99,10 +144,11 @@ class HtmManager : public HtmHooks
         /** Lines with speculative L1 bits, for O(set) release. */
         std::vector<Addr> specLines;
         /** Signature-style sets, used for lazy commit-time arbitration
-         *  (cache residency is not required for tracking). */
-        std::unordered_set<Addr> readSet;
-        std::unordered_set<Addr> writeSet;
-        std::unordered_set<Addr> labeledSet;
+         *  (cache residency is not required for tracking). Flat and
+         *  address-ordered so arbitration order is deterministic. */
+        FlatLineSet readSet;
+        FlatLineSet writeSet;
+        FlatLineSet labeledSet;
         WriteBuffer wb;
     };
 

@@ -3,6 +3,10 @@
  * Lazy version management: speculative writes are buffered per
  * transaction and only become visible at commit (LTM/TSX-style,
  * Sec. III-B1). The buffer is a byte-masked overlay keyed by cache line.
+ *
+ * Lines live in a FlatLineMap and commit application walks them in
+ * ascending address order, so the order committed bytes reach memory
+ * (and any counter derived from it) is platform-independent.
  */
 
 #ifndef COMMTM_HTM_WRITE_BUFFER_H
@@ -10,9 +14,8 @@
 
 #include <array>
 #include <cstring>
-#include <functional>
-#include <unordered_map>
 
+#include "sim/flat_map.h"
 #include "sim/memory.h"
 #include "sim/types.h"
 
@@ -22,33 +25,56 @@ namespace commtm {
 class WriteBuffer
 {
   public:
-    /** Buffer @p size bytes of @p src at @p addr (within one line). */
+    /** One buffered line: data plus a validity bit per byte. */
+    struct Entry {
+        std::array<uint8_t, kLineSize> data{};
+        /** Bit i set iff data[i] holds a buffered byte. */
+        uint64_t mask = 0;
+    };
+    static_assert(kLineSize == 64, "Entry::mask is one bit per byte");
+
+    /**
+     * Buffer @p size bytes of @p src at @p addr. Writes that straddle a
+     * line boundary are split per line; an earlier version memcpy'd
+     * past the 64-byte entry instead.
+     */
     void
     write(Addr addr, const void *src, size_t size)
     {
-        Entry &e = lines_[lineAddr(addr)];
-        const uint32_t off = lineOffset(addr);
-        std::memcpy(e.data.data() + off, src, size);
-        for (size_t i = 0; i < size; i++)
-            e.mask[off + i] = true;
+        const auto *from = static_cast<const uint8_t *>(src);
+        while (size > 0) {
+            const uint32_t off = lineOffset(addr);
+            const size_t chunk = std::min(size, size_t(kLineSize - off));
+            Entry &e = lines_[lineAddr(addr)];
+            std::memcpy(e.data.data() + off, from, chunk);
+            e.mask |= maskFor(off, chunk);
+            from += chunk;
+            addr += chunk;
+            size -= chunk;
+        }
     }
 
     /**
      * Overlay buffered bytes onto @p out (the committed value of
-     * [addr, addr+size)), giving the transaction's view.
+     * [addr, addr+size)), giving the transaction's view. Handles
+     * line-straddling ranges.
      */
     void
     overlay(Addr addr, void *out, size_t size) const
     {
-        auto it = lines_.find(lineAddr(addr));
-        if (it == lines_.end())
-            return;
-        const Entry &e = it->second;
-        const uint32_t off = lineOffset(addr);
         auto *dst = static_cast<uint8_t *>(out);
-        for (size_t i = 0; i < size; i++) {
-            if (e.mask[off + i])
-                dst[i] = e.data[off + i];
+        while (size > 0) {
+            const uint32_t off = lineOffset(addr);
+            const size_t chunk = std::min(size, size_t(kLineSize - off));
+            if (const Entry *e = lines_.find(lineAddr(addr))) {
+                for (size_t i = 0; i < chunk; i++) {
+                    if (e->mask & (uint64_t(1) << (off + i)))
+                        dst[i] = e->data[off + i];
+                }
+            }
+            dst += chunk;
+            addr += chunk;
+            size -= chunk;
         }
     }
 
@@ -56,36 +82,39 @@ class WriteBuffer
     bool
     touches(Addr line) const
     {
-        return lines_.count(line) != 0;
+        return lines_.contains(line);
     }
 
     bool empty() const { return lines_.empty(); }
     size_t numLines() const { return lines_.size(); }
 
     /**
-     * Commit: hand every buffered line to @p apply, which merges the
-     * masked bytes into the committed location (SimMemory or a U copy).
+     * Commit: hand every buffered line to @p apply — fn(Addr line,
+     * const Entry &) — in ascending line-address order, so the merge
+     * into committed state is deterministic across platforms.
      */
+    template <typename Fn>
     void
-    forEach(const std::function<void(Addr line,
-                                     const std::array<uint8_t, kLineSize> &,
-                                     const std::array<bool, kLineSize> &)>
-                &apply) const
+    forEach(Fn &&apply) const
     {
-        for (const auto &[line, e] : lines_)
-            apply(line, e.data, e.mask);
+        lines_.forEachSorted(
+            [&](Addr line, const Entry &e) { apply(line, e); });
     }
 
     /** Abort: discard everything. */
     void clear() { lines_.clear(); }
 
   private:
-    struct Entry {
-        std::array<uint8_t, kLineSize> data{};
-        std::array<bool, kLineSize> mask{};
-    };
+    /** Mask with bits [off, off+len) set. */
+    static uint64_t
+    maskFor(uint32_t off, size_t len)
+    {
+        const uint64_t span =
+            len >= 64 ? ~uint64_t(0) : (uint64_t(1) << len) - 1;
+        return span << off;
+    }
 
-    std::unordered_map<Addr, Entry> lines_;
+    FlatLineMap<Entry> lines_;
 };
 
 } // namespace commtm

@@ -12,7 +12,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/types.h"
@@ -80,15 +79,17 @@ class CacheArray
      * Never call when lookup(line) already hits.
      *
      * @param line the incoming line
-     * @param may_evict optional predicate; entries for which it returns
-     *        false are skipped during victim selection (used to keep
+     * @param may_evict predicate; entries for which it returns false
+     *        are skipped during victim selection (used to keep
      *        reduction-handler fills from evicting U-state lines,
      *        Sec. III-B4's reserved-way rule). At least one way per set
-     *        must remain eligible; asserted.
+     *        must remain eligible; asserted. Template parameter, not
+     *        std::function: insert runs on every cache fill.
      * @return the filled (still field-less) entry plus the victim copy.
      */
+    template <typename Pred>
     InsertResult
-    insert(Addr line, const std::function<bool(const Entry &)> &may_evict)
+    insert(Addr line, Pred &&may_evict)
     {
         InsertResult res;
         Entry *base = setBase(line);
@@ -103,7 +104,7 @@ class CacheArray
         // Evict the least-recently-used eligible way.
         Entry *victim = nullptr;
         for (uint32_t w = 0; w < ways_; w++) {
-            if (may_evict && !may_evict(base[w]))
+            if (!may_evict(base[w]))
                 continue;
             if (!victim || base[w].lru < victim->lru)
                 victim = &base[w];
@@ -116,9 +117,17 @@ class CacheArray
         return res;
     }
 
+    /** insert() with every way eligible for eviction. */
+    InsertResult
+    insert(Addr line)
+    {
+        return insert(line, [](const Entry &) { return true; });
+    }
+
     /** LRU valid entry in @p line's set satisfying @p pred, or nullptr. */
+    template <typename Pred>
     Entry *
-    findLruWhere(Addr line, const std::function<bool(const Entry &)> &pred)
+    findLruWhere(Addr line, Pred &&pred)
     {
         Entry *base = setBase(line);
         Entry *best = nullptr;
@@ -142,9 +151,9 @@ class CacheArray
     }
 
     /** Count valid entries in @p line's set satisfying @p pred. */
+    template <typename Pred>
     uint32_t
-    countInSet(Addr line, const std::function<bool(const Entry &)> &pred)
-        const
+    countInSet(Addr line, Pred &&pred) const
     {
         const Entry *base =
             const_cast<CacheArray *>(this)->setBase(line);
@@ -157,8 +166,9 @@ class CacheArray
     }
 
     /** Iterate over all valid entries. */
+    template <typename Fn>
     void
-    forEach(const std::function<void(Entry &)> &fn)
+    forEach(Fn &&fn)
     {
         for (auto &e : entries_) {
             if (e.valid)

@@ -12,7 +12,63 @@
 #include <cassert>
 #include <cstdio>
 
+// The production hooks implementation. Including it here (not in
+// coherence.h) keeps mem/ headers free of htm/ dependencies while
+// letting the dispatch helpers below call the final HtmManager methods
+// directly — no virtual dispatch on the access fast path.
+#include "htm/htm.h"
+
 namespace commtm {
+
+void
+MemorySystem::setHtmManager(HtmManager *mgr)
+{
+    mgr_ = mgr;
+    htm_ = mgr;
+}
+
+bool
+MemorySystem::hookInTx(CoreId c) const
+{
+    if (mgr_)
+        return mgr_->inTx(c);
+    return htm_ && htm_->inTx(c);
+}
+
+Timestamp
+MemorySystem::hookTxTs(CoreId c) const
+{
+    if (mgr_)
+        return mgr_->txTs(c);
+    assert(htm_);
+    return htm_->txTs(c);
+}
+
+bool
+MemorySystem::hookSpecModified(CoreId c, Addr line) const
+{
+    if (mgr_)
+        return mgr_->specModified(c, line);
+    return htm_ && htm_->specModified(c, line);
+}
+
+void
+MemorySystem::hookRemoteAbort(CoreId victim, AbortCause cause)
+{
+    if (mgr_)
+        mgr_->remoteAbort(victim, cause);
+    else if (htm_)
+        htm_->remoteAbort(victim, cause);
+}
+
+void
+MemorySystem::hookNoteSpecLine(CoreId c, Addr line, SpecKind kind)
+{
+    if (mgr_)
+        mgr_->noteSpecLine(c, line, kind);
+    else if (htm_)
+        htm_->noteSpecLine(c, line, kind);
+}
 
 const char *
 privStateName(PrivState state)
@@ -127,23 +183,23 @@ MemorySystem::findL2(CoreId core, Addr line)
 bool
 MemorySystem::coreHasU(CoreId core, Addr line) const
 {
-    return cores_[core]->uCopies.count(line) != 0;
+    return cores_[core]->uCopies.contains(line);
 }
 
 LineData &
 MemorySystem::uCopy(CoreId core, Addr line)
 {
-    auto it = cores_[core]->uCopies.find(line);
-    assert(it != cores_[core]->uCopies.end());
-    return it->second;
+    LineData *copy = cores_[core]->uCopies.find(line);
+    assert(copy);
+    return *copy;
 }
 
 const LineData &
 MemorySystem::uCopy(CoreId core, Addr line) const
 {
-    auto it = cores_[core]->uCopies.find(line);
-    assert(it != cores_[core]->uCopies.end());
-    return it->second;
+    const LineData *copy = cores_[core]->uCopies.find(line);
+    assert(copy);
+    return *copy;
 }
 
 void
@@ -227,14 +283,14 @@ MemorySystem::debugReducedValue(Addr line) const
     LineData acc{};
     bool have = false;
     e->sharers.forEach([&](CoreId s) {
-        auto it = cores_[s]->uCopies.find(line);
-        assert(it != cores_[s]->uCopies.end());
+        const LineData *copy = cores_[s]->uCopies.find(line);
+        assert(copy);
         if (!have) {
-            acc = it->second;
+            acc = *copy;
             have = true;
         } else {
             LineData local = acc;
-            li.reduce(ctx, local, it->second);
+            li.reduce(ctx, local, *copy);
             acc = local;
         }
     });
@@ -250,9 +306,9 @@ MemorySystem::debugUCopies(Addr line) const
     if (!e || e->dir != DirState::U)
         return copies;
     e->sharers.forEach([&](CoreId s) {
-        auto it = cores_[s]->uCopies.find(line);
-        assert(it != cores_[s]->uCopies.end());
-        copies.push_back(it->second);
+        const LineData *copy = cores_[s]->uCopies.find(line);
+        assert(copy);
+        copies.push_back(*copy);
     });
     return copies;
 }
@@ -298,7 +354,7 @@ MemorySystem::battle(const Access &req, CoreId victim, Addr line,
         return true;
     }
     PrivLine *e1 = findL1(victim, line);
-    if (!e1 || !e1->spec() || !htm_ || !htm_->inTx(victim))
+    if (!e1 || !e1->spec() || !hookInTx(victim))
         return true; // no speculative holder: plain coherence action
     // A downgrade for a read only conflicts with a speculative writer.
     if (kind == InvalKind::ForRead && !e1->specWrite)
@@ -308,10 +364,10 @@ MemorySystem::battle(const Access &req, CoreId victim, Addr line,
     const bool requester_wins =
         cfg_.conflictPolicy == ConflictPolicy::RequesterWins ||
         !req.isTx || // non-speculative requests cannot be NACKed
-        req.ts < htm_->txTs(victim); // the earlier transaction wins
+        req.ts < hookTxTs(victim); // the earlier transaction wins
 
     if (requester_wins) {
-        htm_->remoteAbort(victim, cause);
+        hookRemoteAbort(victim, cause);
         return true;
     }
     stats_.nacks++;
@@ -355,11 +411,11 @@ MemorySystem::markSpec(const Access &req, Addr line)
         newly = !e1->specWrite;
         e1->specWrite = true;
     }
-    if (newly && htm_) {
+    if (newly) {
         const SpecKind kind = labeled ? SpecKind::Labeled
                               : is_load ? SpecKind::Read
                                         : SpecKind::Write;
-        htm_->noteSpecLine(req.core, line, kind);
+        hookNoteSpecLine(req.core, line, kind);
     }
 }
 
@@ -416,9 +472,9 @@ MemorySystem::onEvictL1(CoreId core, PrivLine &victim)
     // Evicting speculatively-accessed data from the L1 aborts the
     // transaction (Sec. III-B1 capacity rule; lazy mode tracks sets in
     // signatures, so residency is not required).
-    if (victim.spec() && htm_ && htm_->inTx(core) &&
-        cfg_.conflictDetection == ConflictDetection::Eager)
-        htm_->remoteAbort(core, AbortCause::Capacity);
+    if (victim.spec() && cfg_.conflictDetection == ConflictDetection::Eager &&
+        hookInTx(core))
+        hookRemoteAbort(core, AbortCause::Capacity);
     if (victim.dirty) {
         if (PrivLine *e2 = findL2(core, victim.line))
             e2->dirty = true;
@@ -431,9 +487,10 @@ MemorySystem::onEvictL2(CoreId core, PrivLine &victim, Cycle &lat)
 {
     // Back-invalidate the L1 (inclusive hierarchy).
     if (PrivLine *e1 = findL1(core, victim.line)) {
-        if (e1->spec() && htm_ && htm_->inTx(core) &&
-            cfg_.conflictDetection == ConflictDetection::Eager)
-            htm_->remoteAbort(core, AbortCause::Capacity);
+        if (e1->spec() &&
+            cfg_.conflictDetection == ConflictDetection::Eager &&
+            hookInTx(core))
+            hookRemoteAbort(core, AbortCause::Capacity);
         cores_[core]->l1.erase(victim.line);
     }
     if (victim.state == PrivState::U) {
@@ -458,13 +515,13 @@ MemorySystem::uEvict(CoreId core, Addr line, Cycle &lat)
     // core's copy away (see docs/ARCHITECTURE.md Sec. 2.3); then there
     // is nothing left to do.
     auto &copies = cores_[core]->uCopies;
-    auto it = copies.find(line);
-    if (it == copies.end())
+    const LineData *found = copies.find(line);
+    if (!found)
         return;
     L3Line *e = l3_.lookup(line);
     assert(e && e->dir == DirState::U && e->sharers.test(core));
-    const LineData copy = it->second;
-    copies.erase(it);
+    const LineData copy = *found;
+    copies.erase(line);
     e->sharers.clear(core);
 
     if (!e->sharers.any()) {
@@ -486,11 +543,16 @@ MemorySystem::uEvict(CoreId core, Addr line, Cycle &lat)
     assert(target != kNoCore);
     // If the chosen core's transaction touches this line, it aborts.
     if (PrivLine *te = findL1(target, line)) {
-        if (te->spec() && htm_ && htm_->inTx(target))
-            htm_->remoteAbort(target, AbortCause::UEviction);
+        if (te->spec() && hookInTx(target))
+            hookRemoteAbort(target, AbortCause::UEviction);
     }
     HandlerCtx hctx(*this, target, lat);
-    labels_.get(e->label).reduce(hctx, cores_[target]->uCopies[line], copy);
+    // Reduce into a local copy, not a live map reference: the handler
+    // may recurse into access() and reshuffle the target's uCopies
+    // (flat-map growth/backshift invalidates references).
+    LineData merged = cores_[target]->uCopies[line];
+    labels_.get(e->label).reduce(hctx, merged, copy);
+    cores_[target]->uCopies[line] = merged;
     lat += cfg_.reductionFixedCost + noc_.coreToCore(core, target);
     stats_.uForwards++;
 }
@@ -582,21 +644,24 @@ MemorySystem::onEvictL3(L3Line &victim, Cycle &lat)
         HandlerCtx hctx(*this, host, lat);
         victim.sharers.forEach([&](CoreId s) {
             if (PrivLine *e1 = findL1(s, vline)) {
-                if (e1->spec() && htm_ && htm_->inTx(s))
-                    htm_->remoteAbort(s, AbortCause::UEviction);
+                if (e1->spec() && hookInTx(s))
+                    hookRemoteAbort(s, AbortCause::UEviction);
             }
-            auto it = cores_[s]->uCopies.find(vline);
-            if (it == cores_[s]->uCopies.end())
+            const LineData *found = cores_[s]->uCopies.find(vline);
+            if (!found)
                 return;
+            // Copy the donor value before running the reduction
+            // handler: recursion may reshuffle s's uCopies.
+            const LineData donor = *found;
+            cores_[s]->uCopies.erase(vline);
+            dropPriv(s, vline);
             if (!have) {
-                acc = it->second;
+                acc = donor;
                 have = true;
             } else {
-                li.reduce(hctx, acc, it->second);
+                li.reduce(hctx, acc, donor);
                 lat += cfg_.reductionFixedCost;
             }
-            cores_[s]->uCopies.erase(it);
-            dropPriv(s, vline);
         });
         if (have)
             memory_.writeLine(vline, acc);
@@ -607,9 +672,10 @@ MemorySystem::onEvictL3(L3Line &victim, Cycle &lat)
     // Normal line: back-invalidate all private copies.
     victim.sharers.forEach([&](CoreId s) {
         if (PrivLine *e1 = findL1(s, vline)) {
-            if (e1->spec() && htm_ && htm_->inTx(s) &&
-                cfg_.conflictDetection == ConflictDetection::Eager)
-                htm_->remoteAbort(s, AbortCause::Capacity);
+            if (e1->spec() &&
+                cfg_.conflictDetection == ConflictDetection::Eager &&
+                hookInTx(s))
+                hookRemoteAbort(s, AbortCause::Capacity);
         }
         dropPriv(s, vline);
     });
@@ -631,16 +697,18 @@ MemorySystem::getL3(const Access &req, Addr line, Cycle &lat)
     const auto non_cached = [](const L3Line &v) {
         return v.dir == DirState::NonCached;
     };
-    std::function<bool(const L3Line &)> pred;
+    CacheArray<L3Line>::InsertResult r;
     if (l3_.countInSet(line, non_cached) > 0) {
-        pred = non_cached;
+        r = l3_.insert(line, non_cached);
     } else if (req.handler) {
         // Handlers must never trigger a reduction (deadlock avoidance):
         // they cannot evict directory-U lines. With 16 ways this always
         // leaves an eligible victim in practice; asserted in insert().
-        pred = [](const L3Line &v) { return v.dir != DirState::U; };
+        r = l3_.insert(line,
+                       [](const L3Line &v) { return v.dir != DirState::U; });
+    } else {
+        r = l3_.insert(line);
     }
-    auto r = l3_.insert(line, pred);
     if (r.evicted)
         onEvictL3(r.victim, lat);
     // Handler recursion inside onEvictL3 may have reshuffled the set;
@@ -722,12 +790,16 @@ MemorySystem::handleGETX(const Access &req, L3Line *e, AccessResult &res)
       case DirState::S: {
         bool nacked = false;
         Cycle max_leg = 0;
-        std::vector<CoreId> sharers;
+        // Stack snapshot: battle() may mutate the sharer set, and a
+        // heap vector per invalidation shows up in host time.
+        CoreId sharers[Sharers::kMaxSharers];
+        uint32_t num_sharers = 0;
         e->sharers.forEach([&](CoreId s) {
             if (s != c)
-                sharers.push_back(s);
+                sharers[num_sharers++] = s;
         });
-        for (CoreId s : sharers) {
+        for (uint32_t i = 0; i < num_sharers; i++) {
+            const CoreId s = sharers[i];
             if (!battle(req, s, line, InvalKind::ForWrite, res)) {
                 nacked = true;
                 continue;
@@ -794,12 +866,14 @@ MemorySystem::handleGETU(const Access &req, L3Line *e, AccessResult &res)
         // Case 2: invalidate read-only sharers, then serve the data.
         bool nacked = false;
         Cycle max_leg = 0;
-        std::vector<CoreId> sharers;
+        CoreId sharers[Sharers::kMaxSharers];
+        uint32_t num_sharers = 0;
         e->sharers.forEach([&](CoreId s) {
             if (s != c)
-                sharers.push_back(s);
+                sharers[num_sharers++] = s;
         });
-        for (CoreId s : sharers) {
+        for (uint32_t i = 0; i < num_sharers; i++) {
+            const CoreId s = sharers[i];
             if (!battle(req, s, line, InvalKind::ForLabeled, res)) {
                 nacked = true;
                 continue;
@@ -877,7 +951,7 @@ MemorySystem::reduceLine(const Access &req, L3Line *e, AccessResult &res,
     // while others share it: abort and retry with labeled operations
     // demoted to conventional ones (Sec. III-B4).
     if (to_m && e->sharers.test(c) && e->sharers.count() > 1 && req.isTx &&
-        htm_ && htm_->specModified(c, line)) {
+        hookSpecModified(c, line)) {
         res.selfDemote = true;
         res.cause = AbortCause::SelfDemotion;
         return;
@@ -893,17 +967,21 @@ MemorySystem::reduceLine(const Access &req, L3Line *e, AccessResult &res,
     bool nacked = false;
     Cycle max_leg = 0;
     HandlerCtx hctx(*this, c, res.latency);
-    std::vector<CoreId> others;
+    CoreId others[Sharers::kMaxSharers];
+    uint32_t num_others = 0;
     e->sharers.forEach([&](CoreId s) {
         if (s != c)
-            others.push_back(s);
+            others[num_others++] = s;
     });
-    for (CoreId s : others) {
+    for (uint32_t i = 0; i < num_others; i++) {
+        const CoreId s = others[i];
         if (!battle(req, s, line, InvalKind::ForReduction, res)) {
             nacked = true;
             continue;
         }
-        const LineData fwd = cores_[s]->uCopies[line];
+        const LineData *fwd_copy = cores_[s]->uCopies.find(line);
+        assert(fwd_copy && "a directory-U sharer must hold a U copy");
+        const LineData fwd = *fwd_copy;
         if (!have) {
             // The requester transitions to U on the first forwarded line.
             acc = fwd;
@@ -1012,10 +1090,17 @@ MemorySystem::handleGather(const Access &req, L3Line *e, AccessResult &res)
         }
         if (!battle(req, s, line, InvalKind::ForSplit, res))
             continue; // NACKed; requester aborts after merging the rest
+        // Run the splitter and reduction on local copies: the handler
+        // may recurse into access() and reshuffle either core's
+        // uCopies, invalidating flat-map references.
+        LineData donor = cores_[s]->uCopies[line];
         LineData out = li.identity;
-        li.split(hctx, cores_[s]->uCopies[line], out, num_sharers);
+        li.split(hctx, donor, out, num_sharers);
+        cores_[s]->uCopies[line] = donor;
         stats_.splits++;
-        li.reduce(hctx, pc.uCopies[line], out);
+        LineData mine = pc.uCopies[line];
+        li.reduce(hctx, mine, out);
+        pc.uCopies[line] = mine;
         res.latency += cfg_.reductionFixedCost;
         max_leg = std::max(max_leg, 2 * noc_.coreToCore(s, c));
     }

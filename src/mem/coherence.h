@@ -20,7 +20,6 @@
 #define COMMTM_MEM_COHERENCE_H
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "commtm/label.h"
@@ -28,6 +27,7 @@
 #include "mem/line.h"
 #include "mem/noc.h"
 #include "sim/config.h"
+#include "sim/flat_map.h"
 #include "sim/memory.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
@@ -95,6 +95,10 @@ class HtmHooks
     virtual void noteSpecLine(CoreId c, Addr line, SpecKind kind) = 0;
 };
 
+/** The production HtmHooks implementation (htm/htm.h); final, so the
+ *  memory system can dispatch to it without virtual calls. */
+class HtmManager;
+
 /**
  * The whole simulated memory hierarchy and coherence protocol. All
  * methods execute atomically in simulated time (zsim-style simple-core
@@ -107,7 +111,18 @@ class MemorySystem
                  const LabelRegistry &labels, MachineStats &stats,
                  Rng &rng);
 
-    void setHtm(HtmHooks *htm) { htm_ = htm; }
+    /** Install generic hooks (tests, instrumentation): virtual dispatch. */
+    void
+    setHtm(HtmHooks *htm)
+    {
+        htm_ = htm;
+        mgr_ = nullptr;
+    }
+
+    /** Install the production HtmManager: the access fast path calls it
+     *  directly (HtmManager is final, so the calls devirtualize and
+     *  inline). Defined in coherence.cc, which sees htm/htm.h. */
+    void setHtmManager(HtmManager *mgr);
 
     /**
      * Perform one access: coherence-state transitions, conflict
@@ -158,8 +173,9 @@ class MemorySystem
         }
         CacheArray<PrivLine> l1;
         CacheArray<PrivLine> l2;
-        /** Non-speculative U-state copies (functional). */
-        std::unordered_map<Addr, LineData> uCopies;
+        /** Non-speculative U-state copies (functional). Flat map: these
+         *  lookups sit under every labeled access and every reduction. */
+        FlatLineMap<LineData> uCopies;
     };
 
     /** Shadow-thread context for reduction handlers and splitters. */
@@ -247,6 +263,16 @@ class MemorySystem
     /** Remove @p core from @p line's U sharers, dropping its copy. */
     void removeUSharer(L3Line *e, CoreId core);
 
+    // HtmHooks dispatch: direct (devirtualized) through mgr_ when the
+    // production HtmManager is installed, virtual through htm_
+    // otherwise, no-op/false when no hooks are installed. Bodies live
+    // in coherence.cc, where htm/htm.h is visible.
+    bool hookInTx(CoreId c) const;
+    Timestamp hookTxTs(CoreId c) const;
+    bool hookSpecModified(CoreId c, Addr line) const;
+    void hookRemoteAbort(CoreId victim, AbortCause cause);
+    void hookNoteSpecLine(CoreId c, Addr line, SpecKind kind);
+
     const MachineConfig &cfg_;
     SimMemory &memory_;
     const LabelRegistry &labels_;
@@ -254,6 +280,7 @@ class MemorySystem
     Rng &rng_;
     NocModel noc_;
     HtmHooks *htm_ = nullptr;
+    HtmManager *mgr_ = nullptr;
 
     std::vector<std::unique_ptr<PerCore>> cores_;
     CacheArray<L3Line> l3_;

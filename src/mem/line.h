@@ -10,7 +10,6 @@
 #include <array>
 #include <cassert>
 #include <cstdint>
-#include <functional>
 
 #include "sim/types.h"
 
@@ -61,6 +60,9 @@ struct PrivLine {
 class Sharers
 {
   public:
+    /** Upper bound on sharer count (size for stack-allocated snapshots). */
+    static constexpr uint32_t kMaxSharers = 128;
+
     void set(CoreId c) { word(c) |= bit(c); }
     void clear(CoreId c) { word(c) &= ~bit(c); }
     bool test(CoreId c) const { return words_[c >> 6] & bit(c); }
@@ -91,9 +93,13 @@ class Sharers
         return 64 + __builtin_ctzll(words_[1]);
     }
 
-    /** Invoke @p fn for every sharer, in increasing core order. */
+    /** Invoke @p fn for every sharer, in increasing core order. The
+     *  callback is a template parameter (not std::function): this runs
+     *  on the coherence fast path, where a std::function per directory
+     *  action would allocate. */
+    template <typename Fn>
     void
-    forEach(const std::function<void(CoreId)> &fn) const
+    forEach(Fn &&fn) const
     {
         for (int w = 0; w < 2; w++) {
             uint64_t bits = words_[w];

@@ -72,21 +72,33 @@ Machine::run()
     running_ = true;
     for (;;) {
         // Resume the runnable thread with the smallest next-ready cycle
-        // (ties broken by core id for determinism).
+        // (ties broken by core id for determinism). One fused scan
+        // finds both the winner and the runner-up cycle: the runner-up
+        // is exactly othersMin(best), and a second O(threads) pass per
+        // resume was the single largest host-time cost of 128-thread
+        // runs.
         ThreadContext *best = nullptr;
+        Cycle second = kInfinity;
         for (const auto &t : threads_) {
             ThreadContext *c = t.ctx.get();
             if (c->finished_ || c->blocked_)
                 continue;
-            if (!best || c->nextCycle_ < best->nextCycle_)
+            if (!best) {
                 best = c;
+            } else if (c->nextCycle_ < best->nextCycle_) {
+                second = best->nextCycle_;
+                best = c;
+            } else if (c->nextCycle_ < second) {
+                second = c->nextCycle_;
+            }
         }
         if (!best) {
             assert(liveThreads() == 0 &&
                    "deadlock: all live threads blocked on a barrier");
             break;
         }
-        yieldThreshold_ = othersMin(best);
+        assert(second == othersMin(best));
+        yieldThreshold_ = second;
         if (yieldThreshold_ != kInfinity)
             yieldThreshold_ += cfg_.schedQuantum;
         best->fiber_->resume();
@@ -163,60 +175,6 @@ Machine::resetStats()
 // ---------------------------------------------------------------------
 // ThreadContext out-of-line members
 // ---------------------------------------------------------------------
-
-void
-ThreadContext::txRun(const std::function<void()> &body)
-{
-    if (inTx_) {
-        // Closed flat nesting: the inner transaction is subsumed.
-        body();
-        return;
-    }
-    HtmManager &htm = machine_.htm();
-    for (;;) {
-        htm.beginAttempt(core_);
-        stats.txStarted++;
-        inTx_ = true;
-        txAcc_ = 0;
-        bool aborted = false;
-        AbortCause cause = AbortCause::Explicit;
-        bool demote = false;
-        try {
-            advance(machine_.config().txBeginCost);
-            body();
-            checkDoomed();
-            advance(machine_.config().txCommitCost);
-            advance(htm.commit(core_)); // lazy write publication
-            stats.txCommitted++;
-            stats.txCommittedCycles += txAcc_;
-            txAcc_ = 0;
-            inTx_ = false;
-            htm.finish(core_);
-            return;
-        } catch (const AbortException &e) {
-            // Copy the fields and leave the catch block before doing
-            // anything that can switch fibers: the C++ exception state
-            // is per host thread, shared by all fibers, so a live
-            // exception must never be suspended across a yield.
-            aborted = true;
-            cause = e.cause;
-            demote = e.demoteLabeled;
-        }
-        assert(aborted);
-        (void)aborted;
-        const Cycle backoff = htm.abortAttempt(core_, cause, rng_);
-        if (demote)
-            htm.setDemoted(core_);
-        advance(backoff); // stall attributed to the wasted attempt
-        stats.txAborted++;
-        stats.abortsByCause[size_t(cause)]++;
-        stats.txAbortedCycles += txAcc_;
-        stats.wastedByCause[size_t(wasteBucket(cause))] += txAcc_;
-        txAcc_ = 0;
-        inTx_ = false;
-        // retry
-    }
-}
 
 void
 ThreadContext::barrier()

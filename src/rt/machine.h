@@ -76,9 +76,11 @@ class ThreadContext
      * Run @p body as a transaction: begin, execute, commit; on abort,
      * back off and retry (the timestamped conflict-resolution protocol
      * makes a software fallback unnecessary, Sec. V). Nested calls
-     * execute flat (closed nesting).
+     * execute flat (closed nesting). @p body is a template parameter
+     * (not std::function): workloads start millions of transactions,
+     * and a type-erased callable per transaction costs an allocation.
      */
-    void txRun(const std::function<void()> &body);
+    template <typename Body> void txRun(Body &&body);
 
     bool inTx() const { return inTx_; }
 
@@ -409,6 +411,61 @@ ThreadContext::readGather(Addr addr, Label label)
     T value;
     functionalRead(addr, &value, sizeof(T), op == MemOp::Gather);
     return value;
+}
+
+template <typename Body>
+void
+ThreadContext::txRun(Body &&body)
+{
+    if (inTx_) {
+        // Closed flat nesting: the inner transaction is subsumed.
+        body();
+        return;
+    }
+    HtmManager &htm = machine_.htm();
+    for (;;) {
+        htm.beginAttempt(core_);
+        stats.txStarted++;
+        inTx_ = true;
+        txAcc_ = 0;
+        bool aborted = false;
+        AbortCause cause = AbortCause::Explicit;
+        bool demote = false;
+        try {
+            advance(machine_.config().txBeginCost);
+            body();
+            checkDoomed();
+            advance(machine_.config().txCommitCost);
+            advance(htm.commit(core_)); // lazy write publication
+            stats.txCommitted++;
+            stats.txCommittedCycles += txAcc_;
+            txAcc_ = 0;
+            inTx_ = false;
+            htm.finish(core_);
+            return;
+        } catch (const AbortException &e) {
+            // Copy the fields and leave the catch block before doing
+            // anything that can switch fibers: the C++ exception state
+            // is per host thread, shared by all fibers, so a live
+            // exception must never be suspended across a yield.
+            aborted = true;
+            cause = e.cause;
+            demote = e.demoteLabeled;
+        }
+        assert(aborted);
+        (void)aborted;
+        const Cycle backoff = htm.abortAttempt(core_, cause, rng_);
+        if (demote)
+            htm.setDemoted(core_);
+        advance(backoff); // stall attributed to the wasted attempt
+        stats.txAborted++;
+        stats.abortsByCause[size_t(cause)]++;
+        stats.txAbortedCycles += txAcc_;
+        stats.wastedByCause[size_t(wasteBucket(cause))] += txAcc_;
+        txAcc_ = 0;
+        inTx_ = false;
+        // retry
+    }
 }
 
 } // namespace commtm

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Flat, open-addressed hash containers keyed by line address, used for
+ * all speculative state on the simulator's hot path (per-core U copies,
+ * transactional write-buffer lines, and the HTM's read/write/labeled
+ * signature sets).
+ *
+ * Two properties matter here and distinguish these containers from
+ * std::unordered_map/set:
+ *
+ *  1. Host speed: a line-address key needs one multiplicative hash and a
+ *     linear probe over a contiguous array — no per-node allocation, no
+ *     bucket chain chasing. These maps sit under every simulated memory
+ *     access, so constant factors dominate simulator host time.
+ *  2. Determinism: iteration is offered *only* in ascending address
+ *     order (forEachSorted), so any simulated behavior that walks a
+ *     speculative set (commit application, lazy commit-time arbitration)
+ *     is identical on every platform and standard library. stdlib hash
+ *     containers iterate in layout order, which differs between
+ *     libstdc++ and libc++ and would make checked-in counter baselines
+ *     (bench/baselines.json) unreproducible.
+ */
+
+#ifndef COMMTM_SIM_FLAT_MAP_H
+#define COMMTM_SIM_FLAT_MAP_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace commtm {
+
+/**
+ * Open-addressed hash map from line address to V with linear probing
+ * and backward-shift deletion (no tombstones). Capacity is a power of
+ * two; the map grows at 3/4 load. The empty-slot sentinel is
+ * Addr(-1), which can never be a line address (it would correspond to
+ * a virtual address above 2^70).
+ */
+template <typename V>
+class FlatLineMap
+{
+  public:
+    FlatLineMap() = default;
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    bool contains(Addr key) const { return findSlot(key) != kNoSlot; }
+
+    /** Pointer to the value for @p key, or nullptr. */
+    V *
+    find(Addr key)
+    {
+        const size_t slot = findSlot(key);
+        return slot == kNoSlot ? nullptr : &values_[slot];
+    }
+
+    const V *
+    find(Addr key) const
+    {
+        const size_t slot = findSlot(key);
+        return slot == kNoSlot ? nullptr : &values_[slot];
+    }
+
+    /** Value for @p key, default-constructed and inserted if absent. */
+    V &
+    operator[](Addr key)
+    {
+        assert(key != kEmptyKey);
+        if (keys_.empty() || size_ + 1 > (capacity() * 3) / 4)
+            grow();
+        size_t slot = ideal(key);
+        while (keys_[slot] != kEmptyKey) {
+            if (keys_[slot] == key)
+                return values_[slot];
+            slot = (slot + 1) & mask_;
+        }
+        keys_[slot] = key;
+        values_[slot] = V{};
+        size_++;
+        return values_[slot];
+    }
+
+    /** Remove @p key. Returns true iff it was present. */
+    bool
+    erase(Addr key)
+    {
+        size_t hole = findSlot(key);
+        if (hole == kNoSlot)
+            return false;
+        // Backward-shift deletion: slide the rest of the probe chain
+        // left so lookups never need tombstones.
+        size_t next = (hole + 1) & mask_;
+        while (keys_[next] != kEmptyKey) {
+            const size_t home = ideal(keys_[next]);
+            // Move keys_[next] into the hole unless its home position
+            // lies (cyclically) after the hole.
+            const bool in_chain = hole <= next
+                                      ? (home <= hole || home > next)
+                                      : (home <= hole && home > next);
+            if (in_chain) {
+                keys_[hole] = keys_[next];
+                values_[hole] = std::move(values_[next]);
+                hole = next;
+            }
+            next = (next + 1) & mask_;
+        }
+        keys_[hole] = kEmptyKey;
+        values_[hole] = V{};
+        size_--;
+        return true;
+    }
+
+    /** Drop every entry, keeping the allocated capacity. */
+    void
+    clear()
+    {
+        if (size_ == 0)
+            return;
+        std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+        size_ = 0;
+    }
+
+    /** Visit entries in unspecified order: fn(Addr, V&). Must not be
+     *  used for anything that affects simulated behavior; prefer
+     *  forEachSorted. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t i = 0; i < keys_.size(); i++) {
+            if (keys_[i] != kEmptyKey)
+                fn(keys_[i], values_[i]);
+        }
+    }
+
+    /**
+     * Visit entries in ascending address order: fn(Addr, const V&).
+     * This is the only iteration order simulated behavior may depend
+     * on — it is identical on every platform.
+     */
+    template <typename Fn>
+    void
+    forEachSorted(Fn &&fn) const
+    {
+        Addr stack_keys[kSortInline];
+        std::vector<Addr> heap_keys;
+        Addr *sorted = stack_keys;
+        if (size_ > kSortInline) {
+            heap_keys.resize(size_);
+            sorted = heap_keys.data();
+        }
+        size_t n = 0;
+        for (size_t i = 0; i < keys_.size(); i++) {
+            if (keys_[i] != kEmptyKey)
+                sorted[n++] = keys_[i];
+        }
+        assert(n == size_);
+        std::sort(sorted, sorted + n);
+        for (size_t i = 0; i < n; i++)
+            fn(sorted[i], values_[findSlot(sorted[i])]);
+    }
+
+    /** Entries' keys in ascending order (convenience for callers that
+     *  mutate the map while walking the snapshot). */
+    std::vector<Addr>
+    sortedKeys() const
+    {
+        std::vector<Addr> keys;
+        keys.reserve(size_);
+        for (size_t i = 0; i < keys_.size(); i++) {
+            if (keys_[i] != kEmptyKey)
+                keys.push_back(keys_[i]);
+        }
+        std::sort(keys.begin(), keys.end());
+        return keys;
+    }
+
+  private:
+    static constexpr Addr kEmptyKey = ~Addr(0);
+    static constexpr size_t kNoSlot = ~size_t(0);
+    static constexpr size_t kInitialCapacity = 16;
+    static constexpr size_t kSortInline = 64;
+
+    size_t capacity() const { return keys_.size(); }
+
+    size_t
+    ideal(Addr key) const
+    {
+        // Fibonacci multiplicative hash; line addresses are dense and
+        // low-entropy in the high bits, so mix before masking.
+        return size_t((key * 0x9e3779b97f4a7c15ull) >> 32) & mask_;
+    }
+
+    size_t
+    findSlot(Addr key) const
+    {
+        if (keys_.empty())
+            return kNoSlot;
+        size_t slot = ideal(key);
+        while (keys_[slot] != kEmptyKey) {
+            if (keys_[slot] == key)
+                return slot;
+            slot = (slot + 1) & mask_;
+        }
+        return kNoSlot;
+    }
+
+    void
+    grow()
+    {
+        const size_t new_cap =
+            keys_.empty() ? kInitialCapacity : capacity() * 2;
+        std::vector<Addr> old_keys = std::move(keys_);
+        std::vector<V> old_values = std::move(values_);
+        keys_.assign(new_cap, kEmptyKey);
+        values_.assign(new_cap, V{});
+        mask_ = new_cap - 1;
+        for (size_t i = 0; i < old_keys.size(); i++) {
+            if (old_keys[i] == kEmptyKey)
+                continue;
+            size_t slot = ideal(old_keys[i]);
+            while (keys_[slot] != kEmptyKey)
+                slot = (slot + 1) & mask_;
+            keys_[slot] = old_keys[i];
+            values_[slot] = std::move(old_values[i]);
+        }
+    }
+
+    std::vector<Addr> keys_;
+    std::vector<V> values_;
+    size_t mask_ = 0;
+    size_t size_ = 0;
+};
+
+/** Set of line addresses with deterministic (ascending) iteration. */
+class FlatLineSet
+{
+  public:
+    void insert(Addr key) { map_[key] = Empty{}; }
+    bool contains(Addr key) const { return map_.contains(key); }
+    bool erase(Addr key) { return map_.erase(key); }
+    void clear() { map_.clear(); }
+    size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+
+    /** Visit members in ascending address order: fn(Addr). */
+    template <typename Fn>
+    void
+    forEachSorted(Fn &&fn) const
+    {
+        map_.forEachSorted([&](Addr key, const Empty &) { fn(key); });
+    }
+
+    std::vector<Addr> sortedKeys() const { return map_.sortedKeys(); }
+
+  private:
+    struct Empty {};
+    FlatLineMap<Empty> map_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_SIM_FLAT_MAP_H

@@ -10,6 +10,7 @@
 #ifndef COMMTM_SIM_RNG_H
 #define COMMTM_SIM_RNG_H
 
+#include <cassert>
 #include <cstdint>
 
 namespace commtm {
@@ -55,14 +56,25 @@ class Rng
     uint64_t
     below(uint64_t bound)
     {
+        assert(bound != 0 && "below(0) is an empty range");
         return next() % bound;
     }
 
-    /** Uniform integer in [lo, hi]. */
+    /**
+     * Uniform integer in [lo, hi] (inclusive). Requires lo <= hi; the
+     * full span [0, UINT64_MAX] is handled explicitly — the naive
+     * `hi - lo + 1` wraps to 0 there and would divide by zero.
+     */
     uint64_t
     range(uint64_t lo, uint64_t hi)
     {
-        return lo + below(hi - lo + 1);
+        assert(lo <= hi && "range(lo, hi) requires lo <= hi");
+        if (hi < lo)
+            return lo; // inverted bounds: asserted above, safe in release
+        const uint64_t span = hi - lo + 1;
+        if (span == 0)
+            return next(); // [0, UINT64_MAX]: every value is in range
+        return lo + next() % span;
     }
 
     /** Uniform double in [0, 1). */

@@ -29,7 +29,7 @@ TEST(CacheArray, MissesOnEmpty)
 TEST(CacheArray, InsertThenHit)
 {
     CacheArray<PrivLine> arr(16, 4);
-    auto r = arr.insert(3, nullptr);
+    auto r = arr.insert(3);
     EXPECT_FALSE(r.evicted);
     r.entry->state = PrivState::S;
     ASSERT_NE(arr.lookup(3), nullptr);
@@ -41,10 +41,10 @@ TEST(CacheArray, EvictsLruWhenSetFull)
     CacheArray<PrivLine> arr(16, 4); // 4 sets x 4 ways
     const uint32_t sets = arr.numSets();
     for (uint32_t i = 0; i < 4; i++)
-        arr.insert(lineInSet(0, sets, i), nullptr);
+        arr.insert(lineInSet(0, sets, i));
     // Touch line 0 so it is MRU; the LRU is line 1.
     arr.touch(arr.lookup(lineInSet(0, sets, 0)));
-    auto r = arr.insert(lineInSet(0, sets, 4), nullptr);
+    auto r = arr.insert(lineInSet(0, sets, 4));
     EXPECT_TRUE(r.evicted);
     EXPECT_EQ(r.victim.line, lineInSet(0, sets, 1));
     EXPECT_EQ(arr.lookup(lineInSet(0, sets, 1)), nullptr);
@@ -56,7 +56,7 @@ TEST(CacheArray, VictimPredicateSkipsIneligible)
     CacheArray<PrivLine> arr(8, 4); // 2 sets x 4 ways
     const uint32_t sets = arr.numSets();
     for (uint32_t i = 0; i < 4; i++) {
-        auto r = arr.insert(lineInSet(0, sets, i), nullptr);
+        auto r = arr.insert(lineInSet(0, sets, i));
         r.entry->state = i == 0 ? PrivState::S : PrivState::U;
     }
     // Only non-U lines may be evicted: line 0 despite being LRU-oldest
@@ -71,7 +71,7 @@ TEST(CacheArray, VictimPredicateSkipsIneligible)
 TEST(CacheArray, EraseInvalidates)
 {
     CacheArray<PrivLine> arr(16, 4);
-    arr.insert(5, nullptr);
+    arr.insert(5);
     arr.erase(5);
     EXPECT_EQ(arr.lookup(5), nullptr);
 }
@@ -81,7 +81,7 @@ TEST(CacheArray, CountInSetAndFindLru)
     CacheArray<PrivLine> arr(8, 4);
     const uint32_t sets = arr.numSets();
     for (uint32_t i = 0; i < 3; i++) {
-        auto r = arr.insert(lineInSet(1, sets, i), nullptr);
+        auto r = arr.insert(lineInSet(1, sets, i));
         r.entry->state = i < 2 ? PrivState::U : PrivState::M;
     }
     const auto is_u = [](const PrivLine &e) {
@@ -97,7 +97,7 @@ TEST(CacheArray, ClearEmptiesEverything)
 {
     CacheArray<PrivLine> arr(16, 4);
     for (Addr l = 0; l < 8; l++)
-        arr.insert(l, nullptr);
+        arr.insert(l);
     arr.clear();
     for (Addr l = 0; l < 8; l++)
         EXPECT_EQ(arr.lookup(l), nullptr);

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Determinism tests: every simulation is a pure function of the seed.
+ * Two runs with identical configuration must produce bit-identical
+ * statistics — including abort counts and cause breakdowns, which
+ * depend on the order speculative-state containers are walked
+ * (write-buffer commit application, lazy commit-time arbitration,
+ * U-eviction forwarding). The flat containers (sim/flat_map.h) iterate
+ * in address order precisely so this holds on every platform and
+ * standard library; these tests pin the property within one platform,
+ * and the checked-in bench/baselines.json pins it across platforms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/micro.h"
+#include "sim/stats.h"
+
+namespace commtm {
+namespace {
+
+void
+expectEqualThreadStats(const ThreadStats &a, const ThreadStats &b,
+                       size_t thread)
+{
+    EXPECT_EQ(a.nonTxCycles, b.nonTxCycles) << "thread " << thread;
+    EXPECT_EQ(a.txCommittedCycles, b.txCommittedCycles)
+        << "thread " << thread;
+    EXPECT_EQ(a.txAbortedCycles, b.txAbortedCycles) << "thread " << thread;
+    EXPECT_EQ(a.wastedByCause, b.wastedByCause) << "thread " << thread;
+    EXPECT_EQ(a.txStarted, b.txStarted) << "thread " << thread;
+    EXPECT_EQ(a.txCommitted, b.txCommitted) << "thread " << thread;
+    EXPECT_EQ(a.txAborted, b.txAborted) << "thread " << thread;
+    EXPECT_EQ(a.abortsByCause, b.abortsByCause) << "thread " << thread;
+    EXPECT_EQ(a.instrs, b.instrs) << "thread " << thread;
+    EXPECT_EQ(a.labeledInstrs, b.labeledInstrs) << "thread " << thread;
+}
+
+void
+expectEqualMachineStats(const MachineStats &a, const MachineStats &b)
+{
+    EXPECT_EQ(a.l3Gets, b.l3Gets);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Hits, b.l2Hits);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.l3Hits, b.l3Hits);
+    EXPECT_EQ(a.l3Misses, b.l3Misses);
+    EXPECT_EQ(a.invalidations, b.invalidations);
+    EXPECT_EQ(a.downgrades, b.downgrades);
+    EXPECT_EQ(a.nacks, b.nacks);
+    EXPECT_EQ(a.reductions, b.reductions);
+    EXPECT_EQ(a.reductionLinesMerged, b.reductionLinesMerged);
+    EXPECT_EQ(a.gathers, b.gathers);
+    EXPECT_EQ(a.splits, b.splits);
+    EXPECT_EQ(a.uWritebacks, b.uWritebacks);
+    EXPECT_EQ(a.uForwards, b.uForwards);
+    EXPECT_EQ(a.writebacks, b.writebacks);
+}
+
+void
+expectEqualSnapshots(const StatsSnapshot &a, const StatsSnapshot &b)
+{
+    EXPECT_EQ(a.runtimeCycles(), b.runtimeCycles());
+    ASSERT_EQ(a.threads.size(), b.threads.size());
+    for (size_t t = 0; t < a.threads.size(); t++)
+        expectEqualThreadStats(a.threads[t], b.threads[t], t);
+    expectEqualMachineStats(a.machine, b.machine);
+}
+
+TEST(Determinism, EagerCounterMicroIsSeedDeterministic)
+{
+    MachineConfig cfg;
+    cfg.mode = SystemMode::BaselineHtm; // heavy conflicts and backoff
+    const MicroResult a = runCounterMicro(cfg, 16, 4000);
+    const MicroResult b = runCounterMicro(cfg, 16, 4000);
+    ASSERT_TRUE(a.valid);
+    ASSERT_TRUE(b.valid);
+    expectEqualSnapshots(a.stats, b.stats);
+}
+
+TEST(Determinism, LazyArbitrationIsSeedDeterministic)
+{
+    // Lazy mode walks write sets at commit to pick abort victims; the
+    // walk is over FlatLineSet in address order, so two runs agree on
+    // every victim and cause.
+    MachineConfig cfg;
+    cfg.mode = SystemMode::BaselineHtm;
+    cfg.conflictDetection = ConflictDetection::Lazy;
+    const MicroResult a = runCounterMicro(cfg, 16, 4000);
+    const MicroResult b = runCounterMicro(cfg, 16, 4000);
+    ASSERT_TRUE(a.valid);
+    ASSERT_TRUE(b.valid);
+    expectEqualSnapshots(a.stats, b.stats);
+}
+
+TEST(Determinism, GatherHeavyListMicroIsSeedDeterministic)
+{
+    // Mixed enqueue/dequeue exercises gathers, splits, reductions, and
+    // U evictions (random forward target drawn from the machine Rng).
+    MachineConfig cfg;
+    cfg.mode = SystemMode::CommTm;
+    const MicroResult a = runListMicro(cfg, 8, 4000, 50, 16);
+    const MicroResult b = runListMicro(cfg, 8, 4000, 50, 16);
+    ASSERT_TRUE(a.valid);
+    ASSERT_TRUE(b.valid);
+    expectEqualSnapshots(a.stats, b.stats);
+}
+
+} // namespace
+} // namespace commtm

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "lib/counter.h"
 #include "lib/ordered_put.h"
 #include "rt/machine.h"
@@ -83,6 +85,132 @@ TEST(L3Eviction, BackInvalidationAbortsSpeculativeReaders)
     m.run();
     EXPECT_GE(attempts, 2u);
     EXPECT_GE(m.stats().aggregateThreads().txAborted, 1u);
+}
+
+/** Tiny private hierarchy (16-line L1, 32-line L2) to force L2
+ *  evictions — and through them U-line evictions — with a short flood. */
+MachineConfig
+tinyL2Config(uint32_t cores)
+{
+    MachineConfig c;
+    c.numCores = cores;
+    c.mode = SystemMode::CommTm;
+    c.l1SizeKB = 1; // 16 lines, 8-way -> 2 sets
+    c.l2SizeKB = 2; // 32 lines, 8-way -> 4 sets
+    return c;
+}
+
+TEST(UEviction, ForwardWhileTransactionHasBufferedWrites)
+{
+    // Core 1 evicts its U copy while core 0's transaction holds
+    // buffered (uncommitted) labeled writes to the same line. The
+    // forward must reduce only committed U state into core 0 (aborting
+    // core 0's transaction), and the buffered bytes must not leak:
+    // debugReducedValue sees exactly the committed contributions.
+    MachineConfig cfg = tinyL2Config(2);
+    Machine m(cfg);
+    const Label add = CommCounter::defineLabel(m);
+    const uint32_t l2_sets = cfg.l2Lines() / cfg.l2Ways;
+    const Addr target = m.allocator().allocLines(1);
+    m.memory().write<int64_t>(target, 100);
+
+    bool t0InTx = false;
+    bool floodDone = false;
+    uint32_t attempts = 0;
+
+    m.addThread([&](ThreadContext &ctx) { // core 0
+        // Committed labeled add: absorbs the memory value into our
+        // U copy (first GETU requester).
+        ctx.txRun([&] {
+            const int64_t v = ctx.readLabeled<int64_t>(target, add);
+            ctx.writeLabeled<int64_t>(target, add, v + 37);
+        });
+        ctx.txRun([&] {
+            attempts++;
+            const int64_t v = ctx.readLabeled<int64_t>(target, add);
+            ctx.writeLabeled<int64_t>(target, add, v + 11); // buffered
+            t0InTx = true;
+            // Stay inside the transaction until core 1's flood has
+            // evicted its U copy (the first attempt is doomed by the
+            // resulting forward; compute() observes the doom).
+            while (!floodDone)
+                ctx.compute(50);
+        });
+    });
+
+    m.addThread([&](ThreadContext &ctx) { // core 1
+        // Join the reducible line (same label: initialized to identity).
+        ctx.txRun([&] {
+            const int64_t v = ctx.readLabeled<int64_t>(target, add);
+            ctx.writeLabeled<int64_t>(target, add, v + 5);
+        });
+        while (!t0InTx)
+            ctx.compute(10);
+        // Flood our own L2 set: the U line becomes LRU and is evicted,
+        // forwarding our copy to the only other sharer — core 0.
+        for (uint32_t i = 1; i <= cfg.l2Ways + 4; i++) {
+            ctx.read<int64_t>(target + Addr(i) * l2_sets * kLineSize);
+        }
+        EXPECT_FALSE(m.memSys().coreHasU(1, lineAddr(target)));
+        // Functional invariant (Sec. III-B3): the line's value is the
+        // reduction of committed U copies — 100 + 37 + 5, with core
+        // 0's buffered +11 invisible.
+        LineData reduced = m.memSys().debugReducedValue(lineAddr(target));
+        int64_t value;
+        std::memcpy(&value, reduced.data(), sizeof(value));
+        EXPECT_EQ(value, 142);
+        floodDone = true;
+    });
+
+    m.run();
+    // Core 0 retried and committed its +11 on the merged copy.
+    EXPECT_EQ(attempts, 2u);
+    EXPECT_EQ(m.stats().machine.uForwards, 1u);
+    const ThreadStats agg = m.stats().aggregateThreads();
+    EXPECT_EQ(agg.txAborted, 1u);
+    EXPECT_EQ(agg.abortsByCause[size_t(AbortCause::UEviction)], 1u);
+    LineData reduced = m.memSys().debugReducedValue(lineAddr(target));
+    int64_t final_value;
+    std::memcpy(&final_value, reduced.data(), sizeof(final_value));
+    EXPECT_EQ(final_value, 153);
+}
+
+TEST(UEviction, SoleSharerWritebackAbortsBufferingTransaction)
+{
+    // A transaction's own cache-pressure eviction of a U line it has
+    // buffered writes to: the committed copy is written back to
+    // memory, the transaction aborts, and the retry commits on a
+    // re-acquired copy.
+    MachineConfig cfg = tinyL2Config(1);
+    Machine m(cfg);
+    const Label add = CommCounter::defineLabel(m);
+    const uint32_t l2_sets = cfg.l2Lines() / cfg.l2Ways;
+    const Addr target = m.allocator().allocLines(1);
+    m.memory().write<int64_t>(target, 7);
+    uint32_t attempts = 0;
+
+    m.addThread([&](ThreadContext &ctx) {
+        ctx.txRun([&] {
+            attempts++;
+            const int64_t v = ctx.readLabeled<int64_t>(target, add);
+            ctx.writeLabeled<int64_t>(target, add, v + 2); // buffered
+            if (attempts > 1)
+                return;
+            // Evict the U line from our own L2 mid-transaction; one of
+            // these fills dooms us (capacity or U-eviction abort).
+            for (uint32_t i = 1; i <= cfg.l2Ways + 4; i++) {
+                ctx.read<int64_t>(target +
+                                  Addr(i) * l2_sets * kLineSize);
+            }
+        });
+        // The buffered +2 of the aborted attempt must not have leaked.
+        EXPECT_EQ(ctx.read<int64_t>(target), 9);
+    });
+    m.run();
+    EXPECT_EQ(attempts, 2u);
+    EXPECT_GE(m.stats().machine.uWritebacks, 1u);
+    EXPECT_GE(m.stats().aggregateThreads().txAborted, 1u);
+    EXPECT_EQ(m.memory().read<int64_t>(target), 9);
 }
 
 TEST(BlockAccess, ReadWriteBytesRoundTrip)

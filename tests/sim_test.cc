@@ -24,6 +24,32 @@ TEST(Rng, DeterministicForSameSeed)
         EXPECT_EQ(a.next(), b.next());
 }
 
+TEST(Rng, RangeFullSpanDoesNotDivideByZero)
+{
+    // Regression: range(0, UINT64_MAX) computed hi - lo + 1 == 0 and
+    // passed it to below(), dividing by zero.
+    Rng rng(7);
+    for (int i = 0; i < 64; i++) {
+        (void)rng.range(0, ~uint64_t(0)); // must not crash
+    }
+    // A sub-range starting above zero with hi == UINT64_MAX.
+    for (int i = 0; i < 64; i++) {
+        const uint64_t v = rng.range(~uint64_t(0) - 10, ~uint64_t(0));
+        EXPECT_GE(v, ~uint64_t(0) - 10);
+    }
+}
+
+TEST(Rng, RangeDegenerateAndBounds)
+{
+    Rng rng(11);
+    EXPECT_EQ(rng.range(42, 42), 42u);
+    for (int i = 0; i < 1000; i++) {
+        const uint64_t v = rng.range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+    }
+}
+
 TEST(Rng, DifferentSeedsDiverge)
 {
     Rng a(1), b(2);
