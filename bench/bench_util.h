@@ -51,10 +51,16 @@
 namespace commtm {
 namespace benchutil {
 
+/**
+ * Machine for a bench row. Up to 128 threads this is exactly the
+ * Table I machine (so the checked-in baselines are stable); beyond
+ * that, geometry scales proportionally via MachineConfig::forCores
+ * (8 cores/tile, one bank/tile, smallest square mesh).
+ */
 inline MachineConfig
-machineCfg(SystemMode mode)
+machineCfg(SystemMode mode, uint32_t threads = 0)
 {
-    MachineConfig cfg; // Table I defaults: 128 cores, 16 tiles, ...
+    MachineConfig cfg = MachineConfig::forCores(threads);
     cfg.mode = mode;
     return cfg;
 }
@@ -490,6 +496,17 @@ threadSweep()
 {
     static const std::vector<int64_t> sweep = {1, 2, 4, 8, 16,
                                                32, 64, 96, 128};
+    return sweep;
+}
+
+/** threadSweep extended past the paper's 128-thread machine, for the
+ *  benches that probe the scaled (256-core) geometry and the spilled
+ *  sharer representation. */
+inline const std::vector<int64_t> &
+extendedThreadSweep()
+{
+    static const std::vector<int64_t> sweep = {1, 2, 4, 8, 16, 32,
+                                               64, 96, 128, 256};
     return sweep;
 }
 

@@ -26,7 +26,7 @@ BM_Fig10_Refcount(benchmark::State &state)
     const auto threads = uint32_t(state.range(1));
     MicroResult r;
     for (auto _ : state)
-        r = runRefcountMicro(benchutil::machineCfg(mode), threads,
+        r = runRefcountMicro(benchutil::machineCfg(mode, threads), threads,
                              kTotalOps, kObjects);
     if (!r.valid)
         state.SkipWithError("refcount validation failed");

@@ -22,7 +22,8 @@ BM_Fig13_OrderedPut(benchmark::State &state)
     const auto threads = uint32_t(state.range(1));
     MicroResult r;
     for (auto _ : state)
-        r = runOputMicro(benchutil::machineCfg(mode), threads, kTotalOps);
+        r = runOputMicro(benchutil::machineCfg(mode, threads), threads,
+                         kTotalOps);
     if (!r.valid)
         state.SkipWithError("ordered-put validation failed");
     benchutil::reportStats(state, "fig13", mode, threads, r.stats);

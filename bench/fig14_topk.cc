@@ -22,8 +22,8 @@ BM_Fig14_TopK(benchmark::State &state)
     const auto threads = uint32_t(state.range(1));
     MicroResult r;
     for (auto _ : state)
-        r = runTopkMicro(benchutil::machineCfg(mode), threads, kTotalOps,
-                         kK);
+        r = runTopkMicro(benchutil::machineCfg(mode, threads), threads,
+                         kTotalOps, kK);
     if (!r.valid)
         state.SkipWithError("top-K validation failed");
     benchutil::reportStats(state, "fig14", mode, threads, r.stats);

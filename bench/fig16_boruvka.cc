@@ -23,7 +23,7 @@ BM_Fig16_Boruvka(benchmark::State &state)
     cfg.numVertices = 4096;
     BoruvkaResult r;
     for (auto _ : state)
-        r = runBoruvka(benchutil::machineCfg(mode), threads, cfg);
+        r = runBoruvka(benchutil::machineCfg(mode, threads), threads, cfg);
     if (!r.valid())
         state.SkipWithError("MST weight mismatch vs Kruskal");
     benchutil::reportStats(state, "fig16_boruvka", mode, threads, r.stats);

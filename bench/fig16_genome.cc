@@ -24,7 +24,7 @@ BM_Fig16_Genome(benchmark::State &state)
     cfg.numSegments = 16384;
     GenomeResult r;
     for (auto _ : state)
-        r = runGenome(benchutil::machineCfg(mode), threads, cfg);
+        r = runGenome(benchutil::machineCfg(mode, threads), threads, cfg);
     if (!r.valid())
         state.SkipWithError("genome dedup/link mismatch");
     benchutil::reportStats(state, "fig16_genome", mode, threads, r.stats);

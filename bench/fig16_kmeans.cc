@@ -23,7 +23,7 @@ BM_Fig16_Kmeans(benchmark::State &state)
     cfg.maxIters = 4;
     KmeansResult r;
     for (auto _ : state)
-        r = runKmeans(benchutil::machineCfg(mode), threads, cfg);
+        r = runKmeans(benchutil::machineCfg(mode, threads), threads, cfg);
     if (!r.valid(cfg.numPoints))
         state.SkipWithError("kmeans population mismatch");
     benchutil::reportStats(state, "fig16_kmeans", mode, threads, r.stats);

@@ -23,7 +23,7 @@ BM_Fig16_Ssca2(benchmark::State &state)
     cfg.edgeFactor = 8;
     Ssca2Result r;
     for (auto _ : state)
-        r = runSsca2(benchutil::machineCfg(mode), threads, cfg);
+        r = runSsca2(benchutil::machineCfg(mode, threads), threads, cfg);
     if (!r.valid())
         state.SkipWithError("ssca2 adjacency inconsistent");
     benchutil::reportStats(state, "fig16_ssca2", mode, threads, r.stats);

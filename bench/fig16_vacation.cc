@@ -23,7 +23,7 @@ BM_Fig16_Vacation(benchmark::State &state)
     cfg.numTasks = 6144;
     VacationResult r;
     for (auto _ : state)
-        r = runVacation(benchutil::machineCfg(mode), threads, cfg);
+        r = runVacation(benchutil::machineCfg(mode, threads), threads, cfg);
     if (!r.valid())
         state.SkipWithError("vacation inventory not conserved");
     benchutil::reportStats(state, "fig16_vacation", mode, threads, r.stats);

@@ -792,14 +792,12 @@ MemorySystem::handleGETX(const Access &req, L3Line *e, AccessResult &res)
         Cycle max_leg = 0;
         // Stack snapshot: battle() may mutate the sharer set, and a
         // heap vector per invalidation shows up in host time.
-        CoreId sharers[Sharers::kMaxSharers];
-        uint32_t num_sharers = 0;
+        SharerList sharers;
         e->sharers.forEach([&](CoreId s) {
             if (s != c)
-                sharers[num_sharers++] = s;
+                sharers.push(s);
         });
-        for (uint32_t i = 0; i < num_sharers; i++) {
-            const CoreId s = sharers[i];
+        for (const CoreId s : sharers) {
             if (!battle(req, s, line, InvalKind::ForWrite, res)) {
                 nacked = true;
                 continue;
@@ -866,14 +864,12 @@ MemorySystem::handleGETU(const Access &req, L3Line *e, AccessResult &res)
         // Case 2: invalidate read-only sharers, then serve the data.
         bool nacked = false;
         Cycle max_leg = 0;
-        CoreId sharers[Sharers::kMaxSharers];
-        uint32_t num_sharers = 0;
+        SharerList sharers;
         e->sharers.forEach([&](CoreId s) {
             if (s != c)
-                sharers[num_sharers++] = s;
+                sharers.push(s);
         });
-        for (uint32_t i = 0; i < num_sharers; i++) {
-            const CoreId s = sharers[i];
+        for (const CoreId s : sharers) {
             if (!battle(req, s, line, InvalKind::ForLabeled, res)) {
                 nacked = true;
                 continue;
@@ -967,14 +963,12 @@ MemorySystem::reduceLine(const Access &req, L3Line *e, AccessResult &res,
     bool nacked = false;
     Cycle max_leg = 0;
     HandlerCtx hctx(*this, c, res.latency);
-    CoreId others[Sharers::kMaxSharers];
-    uint32_t num_others = 0;
+    SharerList others;
     e->sharers.forEach([&](CoreId s) {
         if (s != c)
-            others[num_others++] = s;
+            others.push(s);
     });
-    for (uint32_t i = 0; i < num_others; i++) {
-        const CoreId s = others[i];
+    for (const CoreId s : others) {
         if (!battle(req, s, line, InvalKind::ForReduction, res)) {
             nacked = true;
             continue;
@@ -1062,10 +1056,10 @@ MemorySystem::handleGather(const Access &req, L3Line *e, AccessResult &res)
     PerCore &pc = *cores_[c];
     HandlerCtx hctx(*this, c, res.latency);
     Cycle max_leg = 0;
-    std::vector<CoreId> others;
+    SharerList others;
     e->sharers.forEach([&](CoreId s) {
         if (s != c)
-            others.push_back(s);
+            others.push(s);
     });
     // Subset gathers (paper future work, Sec. IV): query only the N
     // sharers nearest the requester on the mesh.
@@ -1077,9 +1071,9 @@ MemorySystem::handleGather(const Access &req, L3Line *e, AccessResult &res)
                       const Cycle lb = noc_.coreToCore(b, c);
                       return la != lb ? la < lb : a < b;
                   });
-        others.resize(cfg_.gatherFanoutLimit);
+        others.truncate(cfg_.gatherFanoutLimit);
     }
-    for (CoreId s : others) {
+    for (const CoreId s : others) {
         // Sharers with nothing to donate are skipped entirely: a no-op
         // split leaves their line unchanged, so it cannot invalidate
         // anything a transaction observed — no conflict, no splitter

@@ -8,12 +8,21 @@
 #include "rt/machine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace commtm {
 
 Machine::Machine(MachineConfig cfg)
     : cfg_(cfg), rng_(cfg.seed), labels_(cfg.hwLabels)
 {
+    // Geometry is runtime-configurable (forCores scales past Table I);
+    // reject inconsistent configs up front rather than corrupting a
+    // run with out-of-grid tiles or ragged cache sets.
+    if (const char *err = cfg_.validate()) {
+        std::fprintf(stderr, "invalid MachineConfig: %s\n", err);
+        std::abort();
+    }
     mem_ = std::make_unique<MemorySystem>(cfg_, memory_, labels_,
                                           machineStats_, rng_);
     htm_ = std::make_unique<HtmManager>(cfg_, *mem_, memory_);
@@ -27,7 +36,8 @@ Machine::addThread(ThreadFn fn)
     assert(!running_);
     assert(threads_.size() < cfg_.numCores &&
            "more simulated threads than cores");
-    const CoreId core = CoreId(threads_.size());
+    const CoreId core = cfg_.threadCore(uint32_t(threads_.size()));
+    assert(core < cfg_.numCores);
     SimThread st;
     st.ctx = std::make_unique<ThreadContext>(
         *this, core, cfg_.seed ^ (0x1234567ull * (core + 1)));

@@ -39,7 +39,8 @@ enum class ConflictDetection {
 
 /** How conflicts between two transactions are resolved. */
 enum class ConflictPolicy {
-    /** Paper default: earlier timestamp wins, younger aborts (Sec. III-B1). */
+    /** Paper default: earlier timestamp wins, younger aborts
+     *  (Sec. III-B1). */
     TimestampOlderWins,
     /** Ablation: the requester always wins; the holder aborts. */
     RequesterWins,
@@ -48,11 +49,14 @@ enum class ConflictPolicy {
 /**
  * Configuration of the simulated chip. Defaults reproduce Table I:
  * 128 cores in 16 tiles, 32KB L1D, 128KB L2, 64MB 16-bank L3, 4x4 mesh.
+ * Geometry is fully parameterized — use forCores() for proportionally
+ * scaled 256-, 512-, or N-core machines — and checked by validate()
+ * when a Machine is built.
  */
 struct MachineConfig {
     uint32_t numCores = 128;
     uint32_t numTiles = 16;          //!< cores are distributed over tiles
-    uint32_t meshDim = 4;            //!< tiles arranged as meshDim x meshDim
+    uint32_t meshDim = 4;            //!< tiles fit a meshDim x meshDim grid
 
     // L1 data cache: 32KB, 8-way, private per-core.
     uint32_t l1SizeKB = 32;
@@ -67,6 +71,7 @@ struct MachineConfig {
     // L3: 64MB, 16 banks, 16-way, shared, inclusive, in-cache directory.
     uint32_t l3SizeKB = 64 * 1024;
     uint32_t l3Ways = 16;
+    uint32_t l3Banks = 16;           //!< directory banks, striped over tiles
     Cycle l3BankLatency = 15;
 
     // NoC: 4x4 mesh, 2-cycle routers, 1-cycle links (per hop).
@@ -116,8 +121,26 @@ struct MachineConfig {
 
     /** Tile that hosts core @p c (cores striped across tiles). */
     uint32_t coreTile(CoreId c) const { return c % numTiles; }
+    /** Core that hosts simulated thread @p t. The identity mapping is
+     *  deliberate: threads are created in a deterministic order, and
+     *  with cores striped across tiles (coreTile) consecutive threads
+     *  already spread over the whole mesh. */
+    CoreId threadCore(uint32_t t) const { return CoreId(t); }
     /** L3 bank holding line @p line (address-interleaved). */
-    uint32_t lineBank(Addr line) const { return line % numTiles; }
+    uint32_t lineBank(Addr line) const { return line % l3Banks; }
+
+    /**
+     * Table-I-proportioned geometry for a @p cores -core chip: the
+     * default 8 cores per tile and one directory bank per tile, on the
+     * smallest square mesh that seats all tiles. Any @p cores <= 128
+     * returns the Table I machine unchanged, so results (and the
+     * checked-in perf baselines) at paper scale are unaffected.
+     */
+    static MachineConfig forCores(uint32_t cores);
+
+    /** Geometry sanity check; nullptr if consistent, else an error
+     *  message. Machine aborts on a bad config at construction. */
+    const char *validate() const;
 
     /** Number of lines in a per-core L1. */
     uint32_t l1Lines() const { return l1SizeKB * 1024 / kLineSize; }
@@ -127,6 +150,39 @@ struct MachineConfig {
     /** Human-readable one-line summary of the mode. */
     std::string modeName() const;
 };
+
+inline MachineConfig
+MachineConfig::forCores(uint32_t cores)
+{
+    MachineConfig cfg;
+    if (cores <= cfg.numCores)
+        return cfg;
+    cfg.numCores = cores;
+    cfg.numTiles = (cores + 7) / 8;
+    cfg.meshDim = 1;
+    while (cfg.meshDim * cfg.meshDim < cfg.numTiles)
+        cfg.meshDim++;
+    cfg.l3Banks = cfg.numTiles;
+    return cfg;
+}
+
+inline const char *
+MachineConfig::validate() const
+{
+    if (numCores == 0)
+        return "numCores must be positive";
+    if (numTiles == 0 || numTiles > meshDim * meshDim)
+        return "numTiles must be positive and fit the meshDim^2 grid";
+    if (l3Banks == 0)
+        return "l3Banks must be positive";
+    if (l1Ways == 0 || l1Lines() % l1Ways != 0)
+        return "L1 lines must divide evenly into ways";
+    if (l2Ways == 0 || l2Lines() % l2Ways != 0)
+        return "L2 lines must divide evenly into ways";
+    if (l3Ways == 0 || l3Lines() % l3Ways != 0)
+        return "L3 lines must divide evenly into ways";
+    return nullptr;
+}
 
 inline std::string
 MachineConfig::modeName() const

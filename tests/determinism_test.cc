@@ -107,5 +107,48 @@ TEST(Determinism, GatherHeavyListMicroIsSeedDeterministic)
     expectEqualSnapshots(a.stats, b.stats);
 }
 
+// ---------------------------------------------------------------------
+// Beyond the inline sharer boundary: 256-thread machines exercise the
+// spilled sharer representation (mem/line.h) and the scaled mesh
+// geometry (MachineConfig::forCores). Same property: two same-seed runs
+// must be bit-identical, in eager, lazy, and gather-heavy flavors.
+// ---------------------------------------------------------------------
+
+TEST(Determinism, Eager256ThreadCounterIsSeedDeterministic)
+{
+    MachineConfig cfg = MachineConfig::forCores(256);
+    cfg.mode = SystemMode::BaselineHtm;
+    const MicroResult a = runCounterMicro(cfg, 256, 4096);
+    const MicroResult b = runCounterMicro(cfg, 256, 4096);
+    ASSERT_TRUE(a.valid);
+    ASSERT_TRUE(b.valid);
+    expectEqualSnapshots(a.stats, b.stats);
+}
+
+TEST(Determinism, Lazy256ThreadCounterIsSeedDeterministic)
+{
+    MachineConfig cfg = MachineConfig::forCores(256);
+    cfg.mode = SystemMode::BaselineHtm;
+    cfg.conflictDetection = ConflictDetection::Lazy;
+    const MicroResult a = runCounterMicro(cfg, 256, 4096);
+    const MicroResult b = runCounterMicro(cfg, 256, 4096);
+    ASSERT_TRUE(a.valid);
+    ASSERT_TRUE(b.valid);
+    expectEqualSnapshots(a.stats, b.stats);
+}
+
+TEST(Determinism, GatherHeavy256ThreadListIsSeedDeterministic)
+{
+    // 256 CommTM threads on one list descriptor: the sharer set spills,
+    // and gathers/reductions fan out over >128 sharers.
+    MachineConfig cfg = MachineConfig::forCores(256);
+    cfg.mode = SystemMode::CommTm;
+    const MicroResult a = runListMicro(cfg, 256, 8192, 50, 4);
+    const MicroResult b = runListMicro(cfg, 256, 8192, 50, 4);
+    ASSERT_TRUE(a.valid);
+    ASSERT_TRUE(b.valid);
+    expectEqualSnapshots(a.stats, b.stats);
+}
+
 } // namespace
 } // namespace commtm

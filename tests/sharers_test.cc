@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Cross-checks the runtime-sized sharer set (mem/line.h) against a
+ * reference std::set<uint32_t> model through randomized
+ * add/remove/snapshot/iterate sequences at machine sizes on both sides
+ * of the inline/spill boundary, and pins the hot-path invariant that
+ * sharer snapshots at <= 128 cores never touch the heap (the inline
+ * representation must not silently regress to allocations when the
+ * spill path changes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <vector>
+
+#include "mem/line.h"
+#include "sim/rng.h"
+
+// ---------------------------------------------------------------------
+// Global allocation counter. Replacing the global operator new/delete
+// pair lets the tests below assert the inline representation is
+// allocation-free; the hooks only count (one relaxed atomic), so they
+// are safe under sanitizers and gtest internals.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+} // namespace
+
+// GCC's -Wmismatched-new-delete pairs an inlined replacement operator
+// new (malloc-backed) with the replacement delete (free) at some call
+// sites and misreports a mismatch; malloc/free-backed replacement
+// operators are exactly the intended pairing here.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void *
+operator new(size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace commtm {
+namespace {
+
+uint64_t
+heapAllocs()
+{
+    return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+/** Parameter: the simulated machine's core count. */
+class SharersModel : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(SharersModel, RandomOpsMatchReferenceSet)
+{
+    const uint32_t cores = GetParam();
+    Rng rng(0xc0ffee ^ cores);
+    Sharers s;
+    std::set<uint32_t> model;
+
+    for (int step = 0; step < 4000; step++) {
+        const CoreId c = CoreId(rng.below(cores));
+        switch (rng.below(4)) {
+          case 0:
+          case 1:
+            s.set(c);
+            model.insert(c);
+            break;
+          case 2:
+            s.clear(c);
+            model.erase(c);
+            break;
+          default:
+            EXPECT_EQ(s.test(c), model.count(c) > 0) << "core " << c;
+            break;
+        }
+        if (step % 64 != 0)
+            continue;
+        // Full membership and iteration-order check.
+        std::vector<uint32_t> got;
+        s.forEach([&](CoreId x) { got.push_back(x); });
+        const std::vector<uint32_t> want(model.begin(), model.end());
+        ASSERT_EQ(got, want) << "after step " << step;
+        EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+        EXPECT_EQ(s.count(), uint32_t(model.size()));
+        EXPECT_EQ(s.any(), !model.empty());
+        if (!model.empty()) {
+            EXPECT_EQ(s.first(), CoreId(*model.begin()));
+            EXPECT_EQ(s.only(*model.begin()), model.size() == 1);
+        }
+    }
+
+    s.resetAll();
+    EXPECT_FALSE(s.any());
+    EXPECT_EQ(s.count(), 0u);
+    s.forEach([](CoreId) { FAIL() << "forEach on an empty set"; });
+}
+
+TEST_P(SharersModel, SnapshotCopyAndAssignArePreserving)
+{
+    const uint32_t cores = GetParam();
+    Rng rng(0x5eed ^ cores);
+    Sharers s;
+    std::set<uint32_t> model;
+    for (int i = 0; i < 300; i++) {
+        const CoreId c = CoreId(rng.below(cores));
+        s.set(c);
+        model.insert(c);
+    }
+
+    // SharerList is the directory handlers' stack snapshot: identical
+    // membership, ascending order.
+    SharerList snap;
+    s.forEach([&](CoreId x) { snap.push(x); });
+    ASSERT_EQ(snap.size(), uint32_t(model.size()));
+    uint32_t i = 0;
+    for (uint32_t m : model)
+        EXPECT_EQ(snap[i++], CoreId(m));
+    EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+
+    // Copies are deep on both sides of the inline/spill boundary
+    // (CacheArray::insert returns evicted directory entries by copy).
+    Sharers copy = s;
+    for (uint32_t m : model)
+        copy.clear(m);
+    EXPECT_FALSE(copy.any());
+    EXPECT_EQ(s.count(), uint32_t(model.size()));
+    for (uint32_t m : model)
+        EXPECT_TRUE(s.test(m));
+
+    Sharers assigned;
+    assigned.set(0);
+    assigned = s;
+    EXPECT_EQ(assigned.count(), uint32_t(model.size()));
+    s.resetAll();
+    for (uint32_t m : model)
+        EXPECT_TRUE(assigned.test(m));
+}
+
+TEST_P(SharersModel, SingleSharerInvariants)
+{
+    const uint32_t cores = GetParam();
+    const CoreId c = cores - 1; // highest id: exercises the last word
+    Sharers s;
+    EXPECT_FALSE(s.any());
+    s.set(c);
+    EXPECT_TRUE(s.any());
+    EXPECT_TRUE(s.test(c));
+    EXPECT_TRUE(s.only(c));
+    EXPECT_EQ(s.first(), c);
+    EXPECT_EQ(s.count(), 1u);
+    if (c > 0) {
+        EXPECT_FALSE(s.test(0));
+        EXPECT_FALSE(s.only(0));
+        s.set(0);
+        EXPECT_FALSE(s.only(c));
+        EXPECT_EQ(s.first(), 0u);
+    }
+    s.clear(c);
+    EXPECT_FALSE(s.test(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, SharersModel,
+                         ::testing::Values(1u, 64u, 127u, 128u, 129u,
+                                           256u, 512u));
+
+// ---------------------------------------------------------------------
+// Allocation regression guards (ISSUE 3 satellite): the inline
+// representation must keep fig09-style directory traffic heap-free at
+// Table I scale, while the spill path must actually spill beyond it.
+// All gtest assertions sit outside the counted regions — EXPECT itself
+// may allocate.
+// ---------------------------------------------------------------------
+
+TEST(SharersAlloc, InlineSnapshotPathIsAllocationFree)
+{
+    // fig09-style directory action: every core joins the sharer set,
+    // the handler snapshots it, walks the snapshot, and clears the
+    // sharers (a full reduction), plus an entry copy as on L3 eviction.
+    Sharers s;
+    uint64_t sum = 0;
+    uint32_t copies = 0;
+
+    const uint64_t before = heapAllocs();
+    for (int round = 0; round < 100; round++) {
+        for (CoreId c = 0; c < Sharers::kInlineSharers; c++)
+            s.set(c);
+        SharerList snap;
+        s.forEach([&](CoreId c) { snap.push(c); });
+        for (const CoreId c : snap)
+            sum += c;
+        Sharers victim_copy = s;
+        copies += victim_copy.count();
+        for (const CoreId c : snap)
+            s.clear(c);
+        s.resetAll();
+    }
+    const uint64_t after = heapAllocs();
+
+    EXPECT_EQ(after - before, 0u)
+        << "inline sharer snapshot path allocated on the heap";
+    EXPECT_EQ(sum, 100ull * (127 * 128 / 2));
+    EXPECT_EQ(copies, 100u * 128u);
+}
+
+TEST(SharersAlloc, SpillPathAllocatesAndStaysExact)
+{
+    Sharers s;
+    const uint64_t before = heapAllocs();
+    for (CoreId c = Sharers::kInlineSharers; c < 512; c += 7)
+        s.set(c);
+    const uint64_t after = heapAllocs();
+    EXPECT_GT(after - before, 0u) << "spill block must be heap-hosted";
+
+    for (CoreId c = 0; c < 600; c++) {
+        const bool expect = c >= Sharers::kInlineSharers && c < 512 &&
+                            (c - Sharers::kInlineSharers) % 7 == 0;
+        ASSERT_EQ(s.test(c), expect) << "core " << c;
+    }
+    s.resetAll();
+    EXPECT_FALSE(s.any());
+}
+
+TEST(SharersAlloc, SharerListSpillsPast128)
+{
+    SharerList snap;
+    for (CoreId c = 0; c < 400; c++)
+        snap.push(c);
+    ASSERT_EQ(snap.size(), 400u);
+    for (uint32_t i = 0; i < 400; i++)
+        ASSERT_EQ(snap[i], CoreId(i));
+    EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+    snap.truncate(10);
+    EXPECT_EQ(snap.size(), 10u);
+}
+
+} // namespace
+} // namespace commtm
