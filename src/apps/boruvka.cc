@@ -36,6 +36,8 @@ find(ThreadContext &ctx, const BoruvkaMem &mem, uint32_t x)
 {
     for (;;) {
         const int64_t p = ctx.read<int64_t>(mem.parent + 8 * Addr(x));
+        if (ctx.txAborted())
+            return x; // zeroed reads; caller's body unwinds
         if (p == int64_t(x))
             return x;
         x = uint32_t(p);

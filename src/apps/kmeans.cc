@@ -115,6 +115,8 @@ runKmeans(const MachineConfig &machine_cfg, uint32_t threads,
                     ctx.txRun([&] {
                         const Addr row = accum + row_bytes * best;
                         for (uint32_t j = 0; j < d; j++) {
+                            if (ctx.txAborted())
+                                return; // txRun retries the body
                             const float cur = ctx.readLabeled<float>(
                                 row + 4 * j, fp_add);
                             ctx.writeLabeled<float>(row + 4 * j, fp_add,

@@ -88,6 +88,8 @@ runSsca2(const MachineConfig &machine_cfg, uint32_t threads,
                     ctx.write<int32_t>(fcell, idx + 1);
                     const int32_t b =
                         ctx.read<int32_t>(base + 4 * Addr(u));
+                    if (ctx.txAborted())
+                        return; // b/idx are garbage; txRun retries
                     ctx.write<uint32_t>(adj + 4 * (Addr(b) + idx), v);
                     ctx.compute(4);
                 });

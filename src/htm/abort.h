@@ -1,8 +1,21 @@
 /**
  * @file
- * Transaction-abort signalling. Aborts unwind the transaction body via a
- * C++ exception thrown inside the simulated thread's fiber; the runtime
- * catches it at the transaction boundary, backs off, and retries.
+ * Transaction-abort signalling.
+ *
+ * Aborts unwind cooperatively, without C++ exceptions on the common
+ * path: when a transaction must abort, the runtime latches a pending-
+ * abort flag on the ThreadContext and every subsequent machine
+ * operation (issue, compute, reads/writes) becomes a no-op returning
+ * zero data. Workload code observes ThreadContext::txAborted() and
+ * returns out of the transaction body; txRun() then backs off and
+ * retries (see docs/ARCHITECTURE.md, "Abort control flow").
+ *
+ * AbortException remains as a thin fallback at the fiber boundary for
+ * non-cooperative paths only: a body may still throw it to abort
+ * explicitly, and the runtime force-throws it if a body keeps issuing
+ * operations long after its transaction aborted (a bounded no-op
+ * budget), guaranteeing termination for bodies that never check the
+ * flag. txRun() catches it at the transaction boundary.
  */
 
 #ifndef COMMTM_HTM_ABORT_H
@@ -12,7 +25,8 @@
 
 namespace commtm {
 
-/** Thrown inside a simulated thread when its transaction must abort. */
+/** Thrown inside a simulated thread when its transaction must abort
+ *  and the body did not cooperatively unwind (fallback path only). */
 struct AbortException {
     AbortCause cause;
     /** Retry with labeled operations demoted to conventional ones

@@ -93,11 +93,10 @@ HtmManager::commit(CoreId core)
 {
     Tx &tx = txs_[core];
     assert(tx.active);
-    if (tx.doomed) {
-        // A conflict doomed us after our last memory access; the commit
-        // point observes it and the transaction unwinds.
-        throw AbortException{tx.doomCause, false};
-    }
+    // txRun's commit point polls the doomed flag right before calling
+    // commit, with no yield in between, and nothing in the commit
+    // sequence below can doom the committer itself.
+    assert(!tx.doomed && "caller must observe the doomed flag first");
     Cycle publish_latency = 0;
     if (cfg_.conflictDetection == ConflictDetection::Lazy) {
         lazyArbitrate(core);

@@ -48,10 +48,10 @@ class HtmManager final : public HtmHooks
     void beginAttempt(CoreId core);
 
     /**
-     * Try to commit: applies the write buffer (U-held lines commit into
-     * the core's U copy, everything else into SimMemory) and clears the
-     * speculative sets. Throws AbortException if the transaction was
-     * doomed by a remote conflict.
+     * Commit: applies the write buffer (U-held lines commit into the
+     * core's U copy, everything else into SimMemory) and clears the
+     * speculative sets. The caller must have observed the doomed flag
+     * (and taken the abort path) first; commit never throws.
      *
      * Under lazy conflict detection this is also the arbitration point
      * (Sec. III-D): the committer aborts every concurrent transaction

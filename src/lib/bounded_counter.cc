@@ -59,6 +59,8 @@ BoundedCounter::decrement(ThreadContext &ctx)
                 }
             }
         }
+        if (ctx.txAborted())
+            return; // value is garbage; txRun retries the body
         ctx.writeLabeled<int64_t>(addr_, label_, value - 1);
         ok = true;
     });

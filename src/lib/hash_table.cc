@@ -64,6 +64,10 @@ ResizableHashMap::insert(ThreadContext &ctx, uint64_t key, uint64_t value)
                     return;
                 }
             }
+            // Cooperative unwind: bail before acting on zeroed reads
+            // (the chain walk above terminates on them regardless).
+            if (ctx.txAborted())
+                return;
             // The conditionally-commutative part: consume one unit of
             // remaining space (bounded decrement, Sec. IV).
             if (!remaining_.decrement(ctx)) {

@@ -118,6 +118,8 @@ CommList::enqueue(ThreadContext &ctx, uint64_t value)
         ctx.write<uint64_t>(node + kValueOff, value);
         ctx.write<Addr>(node + kNextOff, 0);
         const Addr tail = ctx.readLabeled<Addr>(tail_, label_);
+        if (ctx.txAborted())
+            return; // cooperative unwind; txRun retries the body
         if (tail == 0) {
             ctx.writeLabeled<Addr>(head_, label_, node);
         } else {
@@ -146,6 +148,8 @@ CommList::dequeue(ThreadContext &ctx, uint64_t *out)
                     return;
             }
         }
+        if (ctx.txAborted())
+            return; // head is garbage on an aborted attempt
         const Addr next = ctx.read<Addr>(head + kNextOff);
         *out = ctx.read<uint64_t>(head + kValueOff);
         ctx.writeLabeled<Addr>(head_, label_, next);

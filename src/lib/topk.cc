@@ -144,6 +144,10 @@ TopK::insert(ThreadContext &ctx, int64_t key)
         Addr heap = ctx.readLabeled<Addr>(desc_ + kHeapPtrOff, label_);
         uint64_t size =
             ctx.readLabeled<uint64_t>(desc_ + kSizeOff, label_);
+        // Cooperative unwind: an aborted attempt zeroes the reads
+        // above; acting on them would host-allocate a bogus heap.
+        if (ctx.txAborted())
+            return;
         if (heap == 0) {
             // First insertion through this copy: allocate a local heap.
             heap = machine_.allocator().alloc(8 * k_, kLineSize);
@@ -165,6 +169,8 @@ TopK::readAll(ThreadContext &ctx)
         keys.clear();
         const Addr heap = ctx.read<Addr>(desc_ + kHeapPtrOff);
         const uint64_t size = ctx.read<uint64_t>(desc_ + kSizeOff);
+        if (ctx.txAborted())
+            return; // retry re-reads; size/heap are garbage
         for (uint64_t i = 0; i < size; i++)
             keys.push_back(ctx.read<int64_t>(heap + 8 * i));
     });

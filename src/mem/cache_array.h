@@ -5,6 +5,13 @@
  * The array stores metadata only; functional data lives in SimMemory and
  * in per-core U-state copies (see mem/coherence.h). Used for the private
  * L1s/L2s and the shared L3 (whose entries embed the in-cache directory).
+ *
+ * Sets materialize lazily on first fill: constructing an array
+ * allocates one pointer per set, not the entries. The Table I L3 tag
+ * array is ~1M entries (~50MB), and eagerly zero-filling it dominated
+ * Machine construction — which short benchmark rows pay per Machine.
+ * A lookup in an untouched set misses without allocating, which is
+ * exactly what the eager all-invalid initialization answered.
  */
 
 #ifndef COMMTM_MEM_CACHE_ARRAY_H
@@ -12,6 +19,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/types.h"
@@ -33,7 +41,7 @@ class CacheArray
      * @param ways associativity
      */
     CacheArray(uint32_t num_lines, uint32_t ways)
-        : ways_(ways), sets_(num_lines / ways), entries_(num_lines)
+        : ways_(ways), sets_(num_lines / ways), setStore_(num_lines / ways)
     {
         assert(ways_ > 0 && sets_ > 0);
         assert(num_lines % ways == 0);
@@ -47,6 +55,8 @@ class CacheArray
     lookup(Addr line)
     {
         Entry *base = setBase(line);
+        if (!base)
+            return nullptr; // untouched set: guaranteed miss
         for (uint32_t w = 0; w < ways_; w++) {
             if (base[w].valid && base[w].line == line)
                 return &base[w];
@@ -92,7 +102,7 @@ class CacheArray
     insert(Addr line, Pred &&may_evict)
     {
         InsertResult res;
-        Entry *base = setBase(line);
+        Entry *base = materialize(line);
         // Prefer an invalid way.
         for (uint32_t w = 0; w < ways_; w++) {
             if (!base[w].valid) {
@@ -130,6 +140,8 @@ class CacheArray
     findLruWhere(Addr line, Pred &&pred)
     {
         Entry *base = setBase(line);
+        if (!base)
+            return nullptr;
         Entry *best = nullptr;
         for (uint32_t w = 0; w < ways_; w++) {
             if (!base[w].valid || !pred(base[w]))
@@ -157,6 +169,8 @@ class CacheArray
     {
         const Entry *base =
             const_cast<CacheArray *>(this)->setBase(line);
+        if (!base)
+            return 0;
         uint32_t n = 0;
         for (uint32_t w = 0; w < ways_; w++) {
             if (base[w].valid && pred(base[w]))
@@ -170,24 +184,38 @@ class CacheArray
     void
     forEach(Fn &&fn)
     {
-        for (auto &e : entries_) {
-            if (e.valid)
-                fn(e);
+        for (auto &set : setStore_) {
+            if (!set)
+                continue;
+            for (uint32_t w = 0; w < ways_; w++) {
+                if (set[w].valid)
+                    fn(set[w]);
+            }
         }
     }
 
-    /** Invalidate everything (between experiments). */
+    /** Invalidate everything (between experiments); materialized sets
+     *  are released, returning the array to its lazy initial state. */
     void
     clear()
     {
-        for (auto &e : entries_) {
-            e.reset();
-            e.valid = false;
-        }
+        for (auto &set : setStore_)
+            set.reset();
     }
 
   private:
-    Entry *setBase(Addr line) { return &entries_[(line % sets_) * ways_]; }
+    /** The set holding @p line, or nullptr if never filled. */
+    Entry *setBase(Addr line) { return setStore_[line % sets_].get(); }
+
+    /** The set holding @p line, allocated (all-invalid) on first use. */
+    Entry *
+    materialize(Addr line)
+    {
+        auto &set = setStore_[line % sets_];
+        if (!set)
+            set = std::make_unique<Entry[]>(ways_);
+        return set.get();
+    }
 
     void
     prepare(Entry *entry, Addr line)
@@ -201,7 +229,8 @@ class CacheArray
     uint32_t ways_;
     uint32_t sets_;
     uint64_t lruClock_ = 0;
-    std::vector<Entry> entries_;
+    /** One lazily-allocated array of @c ways_ entries per set. */
+    std::vector<std::unique_ptr<Entry[]>> setStore_;
 };
 
 } // namespace commtm

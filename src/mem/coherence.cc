@@ -722,7 +722,7 @@ MemorySystem::getL3(const Access &req, Addr line, Cycle &lat)
 // Directory-side request handling
 // ---------------------------------------------------------------------
 
-void
+MemorySystem::DirFollowUp
 MemorySystem::handleGETS(const Access &req, L3Line *e, AccessResult &res)
 {
     const Addr line = e->line;
@@ -745,7 +745,7 @@ MemorySystem::handleGETS(const Access &req, L3Line *e, AccessResult &res)
         const CoreId owner = e->sharers.first();
         assert(owner != c && "exclusive holder would have hit locally");
         if (!battle(req, owner, line, InvalKind::ForRead, res))
-            return;
+            return {};
         // Downgrade the owner to S; it forwards the data.
         if (PrivLine *oe1 = findL1(owner, line)) {
             if (oe1->dirty)
@@ -769,12 +769,12 @@ MemorySystem::handleGETS(const Access &req, L3Line *e, AccessResult &res)
       }
       case DirState::U:
         assert(!req.handler && "handlers must not touch U lines");
-        reduceLine(req, e, res, true, kNoLabel);
-        break;
+        return {true, true, kNoLabel};
     }
+    return {};
 }
 
-void
+MemorySystem::DirFollowUp
 MemorySystem::handleGETX(const Access &req, L3Line *e, AccessResult &res)
 {
     const Addr line = e->line;
@@ -809,7 +809,7 @@ MemorySystem::handleGETX(const Access &req, L3Line *e, AccessResult &res)
         }
         res.latency += max_leg;
         if (nacked)
-            return;
+            return {};
         e->dir = DirState::M;
         e->sharers.resetAll();
         e->sharers.set(c);
@@ -821,7 +821,7 @@ MemorySystem::handleGETX(const Access &req, L3Line *e, AccessResult &res)
         const CoreId owner = e->sharers.first();
         assert(owner != c && "exclusive holder would have hit locally");
         if (!battle(req, owner, line, InvalKind::ForWrite, res))
-            return;
+            return {};
         const PrivLine *oe2 = findL2(owner, line);
         if (oe2 && oe2->dirty)
             stats_.writebacks++;
@@ -836,12 +836,12 @@ MemorySystem::handleGETX(const Access &req, L3Line *e, AccessResult &res)
       }
       case DirState::U:
         assert(!req.handler && "handlers must not touch U lines");
-        reduceLine(req, e, res, true, kNoLabel);
-        break;
+        return {true, true, kNoLabel};
     }
+    return {};
 }
 
-void
+MemorySystem::DirFollowUp
 MemorySystem::handleGETU(const Access &req, L3Line *e, AccessResult &res)
 {
     const Addr line = e->line;
@@ -881,7 +881,7 @@ MemorySystem::handleGETU(const Access &req, L3Line *e, AccessResult &res)
         }
         res.latency += max_leg;
         if (nacked)
-            return;
+            return {};
         pc.uCopies[line] = memory_.readLine(line);
         e->dir = DirState::U;
         e->label = l;
@@ -896,7 +896,7 @@ MemorySystem::handleGETU(const Access &req, L3Line *e, AccessResult &res)
         const CoreId owner = e->sharers.first();
         assert(owner != c && "exclusive holder would have hit locally");
         if (!battle(req, owner, line, InvalKind::ForLabeled, res))
-            return;
+            return {};
         cores_[owner]->uCopies[line] = memory_.readLine(line);
         if (PrivLine *oe1 = findL1(owner, line)) {
             oe1->state = PrivState::U;
@@ -926,10 +926,11 @@ MemorySystem::handleGETU(const Access &req, L3Line *e, AccessResult &res)
             setPriv(c, line, PrivState::U, l, false, false, res.latency);
         } else {
             // Case 3: different label; reduce, then re-enter U relabeled.
-            reduceLine(req, e, res, false, l);
+            return {true, false, l};
         }
         break;
     }
+    return {};
 }
 
 void
@@ -1025,21 +1026,14 @@ MemorySystem::reduceLine(const Access &req, L3Line *e, AccessResult &res,
 }
 
 void
-MemorySystem::handleGather(const Access &req, L3Line *e, AccessResult &res)
+MemorySystem::runGather(const Access &req, L3Line *e, AccessResult &res)
 {
     const Addr line = e->line;
     const CoreId c = req.core;
-    // A gather needs the line in U at the requester first (Sec. IV). The
-    // requester may have lost U between its labeled access and the
-    // gather; re-acquire it with the GETU flow.
-    if (e->dir != DirState::U || e->label != req.label ||
-        !e->sharers.test(c)) {
-        handleGETU(req, e, res);
-        if (res.mustAbort())
-            return;
-        e = l3_.lookup(line);
-        assert(e && e->dir == DirState::U && e->sharers.test(c));
-    }
+    // The requester holds the line in U by now: access()'s drain loop
+    // re-acquires it with an AcquireU step (the GETU flow, plus any
+    // reduction it defers) before this body runs (Sec. IV).
+    assert(e->dir == DirState::U && e->sharers.test(c));
     const LabelInfo &li = labels_.get(req.label);
     assert(li.split && "gather on a label without a splitter");
     stats_.gathers++;
@@ -1117,6 +1111,26 @@ MemorySystem::access(const Access &req)
     assert(!(req.handler &&
              (req.op != MemOp::Load && req.op != MemOp::Store)));
 
+    // Reduction/split handlers re-enter access() for their own reads
+    // and writes. Handlers cannot touch U lines (asserted below) nor
+    // evict them (reserved-way rule + the getL3 handler predicate), so
+    // a handler access never runs another handler: this re-entry is
+    // the memory system's only remaining recursion, bounded at depth
+    // one regardless of gather fanout or sharer count.
+    struct HandlerDepthGuard {
+        uint32_t &depth;
+        const bool active;
+        ~HandlerDepthGuard()
+        {
+            if (active)
+                depth--;
+        }
+    } handler_guard{handlerDepth_, req.handler};
+    if (req.handler) {
+        handlerDepth_++;
+        assert(handlerDepth_ == 1 && "handler accesses must not nest");
+    }
+
     AccessResult res;
     res.latency = cfg_.l1Latency;
     PerCore &pc = *cores_[req.core];
@@ -1189,22 +1203,72 @@ MemorySystem::access(const Access &req)
     stats_.l3Gets[size_t(get_type)]++;
 
     L3Line *e = getL3(req, line, res.latency);
-    switch (req.op) {
-      case MemOp::Load:
-        handleGETS(req, e, res);
-        break;
-      case MemOp::Store:
-        handleGETX(req, e, res);
-        break;
-      case MemOp::LabeledLoad:
-      case MemOp::LabeledStore:
-        assert(!req.handler);
-        handleGETU(req, e, res);
-        break;
-      case MemOp::Gather:
-        assert(!req.handler);
-        handleGather(req, e, res);
-        break;
+
+    // Directory steps drain from an explicit LIFO work stack instead
+    // of nesting calls: a gather used to stack handleGather ->
+    // handleGETU -> reduceLine frames (each with its own SharerList
+    // snapshot) before the reduction handlers re-entered access().
+    // Popping LIFO preserves the nested flow's exact execution order
+    // (pop == return-to-caller), so counters are bit-identical; the
+    // steps just run at this frame's depth. The only recursion left is
+    // the bounded handler -> access() re-entry (handlerDepth_ above).
+    enum class Step : uint8_t { Dispatch, AcquireU, GatherBody, Reduce };
+    struct Work {
+        Step step;
+        bool toM;
+        Label newLabel;
+    };
+    Work stack[3];
+    uint32_t depth = 0;
+    stack[depth++] = {Step::Dispatch, false, kNoLabel};
+    const auto push_follow_up = [&](const DirFollowUp &f) {
+        if (f.reduce)
+            stack[depth++] = {Step::Reduce, f.toM, f.newLabel};
+    };
+    while (depth > 0 && !res.mustAbort()) {
+        const Work w = stack[--depth];
+        // Earlier steps (reductions, evictions) may have reshuffled
+        // the L3 set; re-find our entry.
+        e = l3_.lookup(line);
+        assert(e);
+        switch (w.step) {
+          case Step::Dispatch:
+            switch (req.op) {
+              case MemOp::Load:
+                push_follow_up(handleGETS(req, e, res));
+                break;
+              case MemOp::Store:
+                push_follow_up(handleGETX(req, e, res));
+                break;
+              case MemOp::LabeledLoad:
+              case MemOp::LabeledStore:
+                assert(!req.handler);
+                push_follow_up(handleGETU(req, e, res));
+                break;
+              case MemOp::Gather:
+                assert(!req.handler);
+                stack[depth++] = {Step::GatherBody, false, kNoLabel};
+                if (e->dir != DirState::U || e->label != req.label ||
+                    !e->sharers.test(req.core)) {
+                    // The requester lost U between its labeled access
+                    // and the gather; re-acquire with the GETU flow
+                    // (LIFO: the acquire and any reduction it defers
+                    // run before the gather body).
+                    stack[depth++] = {Step::AcquireU, false, kNoLabel};
+                }
+                break;
+            }
+            break;
+          case Step::AcquireU:
+            push_follow_up(handleGETU(req, e, res));
+            break;
+          case Step::GatherBody:
+            runGather(req, e, res);
+            break;
+          case Step::Reduce:
+            reduceLine(req, e, res, w.toM, w.newLabel);
+            break;
+        }
     }
 
     if (req.isTx && !req.handler && !res.mustAbort())

@@ -205,11 +205,28 @@ class MemorySystem
         ForSplit,     //!< gather-triggered split at a U sharer
     };
 
-    // Directory-side request handlers.
-    void handleGETS(const Access &req, L3Line *e, AccessResult &res);
-    void handleGETX(const Access &req, L3Line *e, AccessResult &res);
-    void handleGETU(const Access &req, L3Line *e, AccessResult &res);
-    void handleGather(const Access &req, L3Line *e, AccessResult &res);
+    /**
+     * Follow-on directory work a request handler defers to access()'s
+     * drain loop instead of executing nested: when a GETS/GETX/GETU
+     * finds the line in dir-U, the required reduction runs as the next
+     * popped work item at access()'s own frame depth, not as a callee
+     * of the handler (see the drain loop in access()).
+     */
+    struct DirFollowUp {
+        bool reduce = false;
+        bool toM = false;        //!< reduceLine's to_m argument
+        Label newLabel = kNoLabel;
+    };
+
+    // Directory-side request handlers. They perform the non-reducing
+    // protocol actions inline and defer reductions via DirFollowUp.
+    DirFollowUp handleGETS(const Access &req, L3Line *e, AccessResult &res);
+    DirFollowUp handleGETX(const Access &req, L3Line *e, AccessResult &res);
+    DirFollowUp handleGETU(const Access &req, L3Line *e, AccessResult &res);
+    /** Gather body proper (split/merge over the sharers); runs only
+     *  once the requester holds the line in U (re-acquisition is a
+     *  separate drain-loop step). */
+    void runGather(const Access &req, L3Line *e, AccessResult &res);
 
     /**
      * Reduce a dir-U line into @p req.core (Sec. III-B4, Fig. 7).
@@ -284,6 +301,13 @@ class MemorySystem
 
     std::vector<std::unique_ptr<PerCore>> cores_;
     CacheArray<L3Line> l3_;
+
+    /** Live handler-issued access() frames. Handlers cannot touch U
+     *  lines nor evict them, so a handler access never runs another
+     *  handler: the only recursion left in the memory system is the
+     *  handler -> access() re-entry, bounded at depth one (asserted
+     *  in access()). */
+    uint32_t handlerDepth_ = 0;
 };
 
 } // namespace commtm

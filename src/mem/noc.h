@@ -40,11 +40,14 @@ class NocModel
                h * (cfg_.routerLatency + cfg_.linkLatency);
     }
 
-    /** Core-to-L3-bank one-way latency. */
+    /** Core-to-L3-bank one-way latency. The bank-to-tile placement is
+     *  owned by MachineConfig::bankTile; the old `bank % numTiles`
+     *  here silently aliased banks onto wrong tiles whenever
+     *  l3Banks != numTiles. */
     Cycle
     coreToBank(CoreId core, uint32_t bank) const
     {
-        return latency(cfg_.coreTile(core), bank % cfg_.numTiles);
+        return latency(cfg_.coreTile(core), cfg_.bankTile(bank));
     }
 
     /** Core-to-core one-way latency (data forwards, invalidations). */

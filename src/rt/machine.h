@@ -84,6 +84,28 @@ class ThreadContext
 
     bool inTx() const { return inTx_; }
 
+    /**
+     * True once the current transaction attempt has aborted (remote
+     * conflict, NACK, capacity, or txAbort). From that point every
+     * machine operation is a no-op returning zero data; transaction
+     * bodies must check this after reads whose values steer control
+     * flow or host-side state and return, letting txRun() retry. This
+     * is the cooperative-unwind contract (docs/ARCHITECTURE.md,
+     * "Abort control flow"); bodies that never check are eventually
+     * force-unwound via the AbortException fallback.
+     */
+    bool txAborted() const { return txAbortPending_; }
+
+    /** Cooperatively abort the current transaction attempt: latches
+     *  the pending-abort flag; the body must still return. */
+    void
+    txAbort(AbortCause cause = AbortCause::Explicit)
+    {
+        assert(inTx_);
+        if (!txAbortPending_)
+            noteAbort(cause, false);
+    }
+
     /** Wait until every live simulated thread reaches the barrier. */
     void barrier();
 
@@ -95,8 +117,16 @@ class ThreadContext
 
     /** Advance simulated time, attribute cycles, maybe yield. */
     void advance(Cycle cycles);
-    /** Unwind if a remote conflict doomed our transaction. */
+    /** Latch a pending abort if a remote conflict doomed our
+     *  transaction (no unwinding: operations turn into no-ops and the
+     *  body is expected to return; see txAborted()). */
     void checkDoomed();
+    /** Record why the current attempt aborts; operations become
+     *  no-ops until txRun()'s retry loop observes the flag. */
+    void noteAbort(AbortCause cause, bool demote);
+    /** Called per operation issued while the abort is pending; throws
+     *  the AbortException fallback once the no-op budget is spent. */
+    void abortedNoOp();
     /** Map a (possibly labeled) op through the system mode and label
      *  virtualization: baseline/demoted ops become conventional. */
     MemOp effectiveOp(MemOp op, Label &label) const;
@@ -117,6 +147,24 @@ class ThreadContext
 
     bool inTx_ = false;
     Cycle txAcc_ = 0; //!< cycles accumulated by the current attempt
+
+    /** Cooperative-unwind state: set by noteAbort, consumed by txRun.
+     *  While pending, issue()/compute() and the functional accessors
+     *  are no-ops (no cycles, no stats, no memory effects), exactly as
+     *  if the old throw had already unwound the body. */
+    bool txAbortPending_ = false;
+    AbortCause abortCause_ = AbortCause::Explicit;
+    bool abortDemote_ = false;
+    /** Operations issued since the abort latched; the exception
+     *  fallback fires when it exceeds kAbortNoOpBudget. */
+    uint32_t abortedOps_ = 0;
+
+    /** No-op operations a non-cooperative body may issue after its
+     *  abort before the AbortException fallback force-unwinds it.
+     *  Generous: cooperative bodies check txAborted() at loop heads
+     *  and return long before this; the budget only bounds bodies
+     *  whose control flow never consults the (zeroed) read results. */
+    static constexpr uint32_t kAbortNoOpBudget = 4096;
 };
 
 /**
@@ -221,17 +269,44 @@ ThreadContext::advance(Cycle cycles)
 }
 
 inline void
+ThreadContext::noteAbort(AbortCause cause, bool demote)
+{
+    assert(inTx_);
+    txAbortPending_ = true;
+    abortCause_ = cause;
+    abortDemote_ = demote;
+    abortedOps_ = 0;
+}
+
+inline void
+ThreadContext::abortedNoOp()
+{
+    // Fiber-boundary fallback for bodies that never check txAborted():
+    // after a generous budget of no-op operations, force the unwind
+    // the old way. Cooperative bodies never reach this; either way the
+    // counters are identical, since no-op operations have no simulated
+    // effect.
+    if (++abortedOps_ > kAbortNoOpBudget)
+        throw AbortException{abortCause_, abortDemote_};
+}
+
+inline void
 ThreadContext::checkDoomed()
 {
-    if (inTx_ && machine_.htm().doomed(core_)) {
-        throw AbortException{machine_.htm().doomCause(core_), false};
-    }
+    if (inTx_ && !txAbortPending_ && machine_.htm().doomed(core_))
+        noteAbort(machine_.htm().doomCause(core_), false);
 }
 
 inline void
 ThreadContext::compute(uint64_t instrs)
 {
+    if (txAbortPending_) {
+        abortedNoOp();
+        return;
+    }
     checkDoomed();
+    if (txAbortPending_)
+        return;
     stats.instrs += instrs;
     advance(instrs);
 }
@@ -262,7 +337,13 @@ ThreadContext::effectiveOp(MemOp op, Label &label) const
 inline AccessResult
 ThreadContext::issue(Addr addr, uint32_t size, MemOp op, Label label)
 {
+    if (txAbortPending_) {
+        abortedNoOp();
+        return AccessResult{};
+    }
     checkDoomed();
+    if (txAbortPending_)
+        return AccessResult{};
     stats.instrs++;
     if (op == MemOp::LabeledLoad || op == MemOp::LabeledStore ||
         op == MemOp::Gather) {
@@ -288,7 +369,8 @@ ThreadContext::issue(Addr addr, uint32_t size, MemOp op, Label label)
     advance(res.latency);
     if (res.mustAbort()) {
         assert(inTx_);
-        throw AbortException{res.cause, res.selfDemote};
+        noteAbort(res.cause, res.selfDemote);
+        return res;
     }
     checkDoomed(); // our own access may have doomed us (capacity abort)
     return res;
@@ -337,6 +419,8 @@ ThreadContext::readBytes(Addr addr, void *out, size_t size)
         const size_t chunk =
             std::min(size, size_t(kLineSize - lineOffset(addr)));
         issue(addr, uint32_t(chunk), MemOp::Load, kNoLabel);
+        if (txAbortPending_)
+            return; // buffer contents are garbage; caller must retry
         functionalRead(addr, dst, chunk, false);
         dst += chunk;
         addr += chunk;
@@ -352,6 +436,8 @@ ThreadContext::writeBytes(Addr addr, const void *src, size_t size)
         const size_t chunk =
             std::min(size, size_t(kLineSize - lineOffset(addr)));
         issue(addr, uint32_t(chunk), MemOp::Store, kNoLabel);
+        if (txAbortPending_)
+            return;
         functionalWrite(addr, from, chunk, false);
         from += chunk;
         addr += chunk;
@@ -359,12 +445,19 @@ ThreadContext::writeBytes(Addr addr, const void *src, size_t size)
     }
 }
 
+// On a pending abort, reads return T{} (all-zero) and writes vanish:
+// with the old throw the functional half never ran either, and the
+// zero sentinel keeps pointer-chasing loops in non-yet-checked body
+// code terminating harmlessly until the body observes txAborted().
+
 template <typename T>
 T
 ThreadContext::read(Addr addr)
 {
     static_assert(std::is_trivially_copyable_v<T>);
     issue(addr, sizeof(T), MemOp::Load, kNoLabel);
+    if (txAbortPending_)
+        return T{};
     T value;
     functionalRead(addr, &value, sizeof(T), false);
     return value;
@@ -376,6 +469,8 @@ ThreadContext::write(Addr addr, const T &value)
 {
     static_assert(std::is_trivially_copyable_v<T>);
     issue(addr, sizeof(T), MemOp::Store, kNoLabel);
+    if (txAbortPending_)
+        return;
     functionalWrite(addr, &value, sizeof(T), false);
 }
 
@@ -386,6 +481,8 @@ ThreadContext::readLabeled(Addr addr, Label label)
     static_assert(std::is_trivially_copyable_v<T>);
     const MemOp op = effectiveOp(MemOp::LabeledLoad, label);
     issue(addr, sizeof(T), op, label);
+    if (txAbortPending_)
+        return T{};
     T value;
     functionalRead(addr, &value, sizeof(T), op == MemOp::LabeledLoad);
     return value;
@@ -398,6 +495,8 @@ ThreadContext::writeLabeled(Addr addr, Label label, const T &value)
     static_assert(std::is_trivially_copyable_v<T>);
     const MemOp op = effectiveOp(MemOp::LabeledStore, label);
     issue(addr, sizeof(T), op, label);
+    if (txAbortPending_)
+        return;
     functionalWrite(addr, &value, sizeof(T), op == MemOp::LabeledStore);
 }
 
@@ -408,6 +507,8 @@ ThreadContext::readGather(Addr addr, Label label)
     static_assert(std::is_trivially_copyable_v<T>);
     const MemOp op = effectiveOp(MemOp::Gather, label);
     issue(addr, sizeof(T), op, label);
+    if (txAbortPending_)
+        return T{};
     T value;
     functionalRead(addr, &value, sizeof(T), op == MemOp::Gather);
     return value;
@@ -428,14 +529,30 @@ ThreadContext::txRun(Body &&body)
         stats.txStarted++;
         inTx_ = true;
         txAcc_ = 0;
-        bool aborted = false;
-        AbortCause cause = AbortCause::Explicit;
-        bool demote = false;
+        txAbortPending_ = false;
         try {
             advance(machine_.config().txBeginCost);
             body();
+        } catch (const AbortException &e) {
+            // Fallback for non-cooperative bodies (explicit throws,
+            // exhausted no-op budget). Latch the fields and leave the
+            // catch block before doing anything that can switch
+            // fibers: the C++ exception state is per host thread,
+            // shared by all fibers, so a live exception must never be
+            // suspended across a yield.
+            noteAbort(e.cause, e.demoteLabeled);
+        }
+        // Commit point. The body returned; any abort it absorbed is in
+        // txAbortPending_. The two checkDoomed() calls mirror the old
+        // throw sites exactly: a doom latched during the body, then
+        // one latched while the commit-cost advance yielded.
+        if (!txAbortPending_)
             checkDoomed();
+        if (!txAbortPending_) {
             advance(machine_.config().txCommitCost);
+            checkDoomed();
+        }
+        if (!txAbortPending_) {
             advance(htm.commit(core_)); // lazy write publication
             stats.txCommitted++;
             stats.txCommittedCycles += txAcc_;
@@ -443,19 +560,10 @@ ThreadContext::txRun(Body &&body)
             inTx_ = false;
             htm.finish(core_);
             return;
-        } catch (const AbortException &e) {
-            // Copy the fields and leave the catch block before doing
-            // anything that can switch fibers: the C++ exception state
-            // is per host thread, shared by all fibers, so a live
-            // exception must never be suspended across a yield.
-            aborted = true;
-            cause = e.cause;
-            demote = e.demoteLabeled;
         }
-        assert(aborted);
-        (void)aborted;
+        const AbortCause cause = abortCause_;
         const Cycle backoff = htm.abortAttempt(core_, cause, rng_);
-        if (demote)
+        if (abortDemote_)
             htm.setDemoted(core_);
         advance(backoff); // stall attributed to the wasted attempt
         stats.txAborted++;
@@ -463,6 +571,7 @@ ThreadContext::txRun(Body &&body)
         stats.txAbortedCycles += txAcc_;
         stats.wastedByCause[size_t(wasteBucket(cause))] += txAcc_;
         txAcc_ = 0;
+        txAbortPending_ = false;
         inTx_ = false;
         // retry
     }

@@ -130,6 +130,21 @@ struct MachineConfig {
     uint32_t lineBank(Addr line) const { return line % l3Banks; }
 
     /**
+     * Tile hosting L3 bank @p bank. With more banks than tiles the
+     * banks stripe round-robin (each tile hosts l3Banks/numTiles
+     * banks); with fewer, banks spread evenly so they do not crowd
+     * the low-numbered tiles. validate() rejects ragged geometries, so
+     * the divisions here are exact. bank == tile when l3Banks ==
+     * numTiles (Table I and every forCores() machine).
+     */
+    uint32_t
+    bankTile(uint32_t bank) const
+    {
+        return l3Banks >= numTiles ? bank % numTiles
+                                   : bank * (numTiles / l3Banks);
+    }
+
+    /**
      * Table-I-proportioned geometry for a @p cores -core chip: the
      * default 8 cores per tile and one directory bank per tile, on the
      * smallest square mesh that seats all tiles. Any @p cores <= 128
@@ -175,6 +190,10 @@ MachineConfig::validate() const
         return "numTiles must be positive and fit the meshDim^2 grid";
     if (l3Banks == 0)
         return "l3Banks must be positive";
+    if (l3Banks >= numTiles ? l3Banks % numTiles != 0
+                            : numTiles % l3Banks != 0)
+        return "l3Banks must evenly stripe over (or spread across) "
+               "numTiles";
     if (l1Ways == 0 || l1Lines() % l1Ways != 0)
         return "L1 lines must divide evenly into ways";
     if (l2Ways == 0 || l2Lines() % l2Ways != 0)

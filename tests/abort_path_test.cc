@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Abort-path regression wall. The counters pinned here were recorded
+ * on the throw-per-abort simulator (pre-cooperative-unwind) and must
+ * stay bit-identical under the exception-free abort path: a forced
+ * two-core abort storm (eager and lazy), the stats-bucket attribution
+ * of an aborted attempt's cycles, and a 256-thread deep-gather case
+ * that stresses the flat (non-recursive) reduction drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lib/bounded_counter.h"
+#include "rt/machine.h"
+
+namespace commtm {
+namespace {
+
+struct StormResult {
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    int64_t finalValue = 0;
+    Cycle cycles = 0;
+};
+
+/**
+ * Two cores hammer read-modify-write transactions on one line: every
+ * concurrent pair conflicts, so the run is an abort storm. Fully
+ * deterministic, so commit/abort counts and total cycles pin exactly.
+ */
+StormResult
+runStorm(ConflictDetection detection)
+{
+    MachineConfig c;
+    c.numCores = 2;
+    c.mode = SystemMode::BaselineHtm;
+    c.conflictDetection = detection;
+    Machine m(c);
+    const Addr a = m.allocator().allocLines(1);
+    constexpr int kIncrements = 200;
+    for (int t = 0; t < 2; t++) {
+        m.addThread([&](ThreadContext &ctx) {
+            for (int i = 0; i < kIncrements; i++) {
+                ctx.txRun([&] {
+                    const int64_t v = ctx.read<int64_t>(a);
+                    ctx.compute(8);
+                    ctx.write<int64_t>(a, v + 1);
+                });
+            }
+        });
+    }
+    m.run();
+    const ThreadStats agg = m.stats().aggregateThreads();
+    StormResult r;
+    r.commits = agg.txCommitted;
+    r.aborts = agg.txAborted;
+    r.finalValue = m.memory().read<int64_t>(a);
+    r.cycles = m.stats().runtimeCycles();
+    return r;
+}
+
+TEST(AbortPath, EagerStormCountersArePinned)
+{
+    const StormResult r = runStorm(ConflictDetection::Eager);
+    EXPECT_EQ(r.commits, 400u);
+    EXPECT_EQ(r.finalValue, 400);
+    EXPECT_EQ(r.aborts, 48u);
+    EXPECT_EQ(r.cycles, 7064u);
+}
+
+TEST(AbortPath, LazyStormCountersArePinned)
+{
+    const StormResult r = runStorm(ConflictDetection::Lazy);
+    EXPECT_EQ(r.commits, 400u);
+    EXPECT_EQ(r.finalValue, 400);
+    EXPECT_EQ(r.aborts, 47u);
+    EXPECT_EQ(r.cycles, 7211u);
+}
+
+/**
+ * Single deterministic abort, run twice with different abortCost: the
+ * whole aborted attempt (tx_begin, the accesses, the backoff stall)
+ * must land in txAbortedCycles — never in nonTxCycles — and the
+ * abortCost delta must show up there exactly.
+ */
+struct AbortAccounting {
+    ThreadStats victim;
+    uint64_t aborts = 0;
+};
+
+AbortAccounting
+runOneAbort(Cycle abort_cost)
+{
+    MachineConfig c;
+    c.numCores = 2;
+    c.mode = SystemMode::BaselineHtm;
+    c.abortCost = abort_cost;
+    c.backoffBase = 0; // backoff = abortCost exactly (window collapses)
+    Machine m(c);
+    const Addr a = m.allocator().allocLines(1);
+    // Thread 0 (the victim) opens a transaction over the line and then
+    // computes long enough for thread 1's non-speculative write to
+    // arrive and doom it; the retry succeeds unconditionally.
+    m.addThread([&](ThreadContext &ctx) {
+        int attempt = 0;
+        ctx.txRun([&] {
+            attempt++;
+            const int64_t v = ctx.read<int64_t>(a);
+            ctx.write<int64_t>(a, v + 1);
+            if (attempt == 1) {
+                for (int i = 0; i < 100; i++)
+                    ctx.compute(10);
+            }
+        });
+    });
+    m.addThread([&](ThreadContext &ctx) {
+        ctx.compute(150);
+        ctx.write<int64_t>(a, 100); // plain store; cannot be NACKed
+    });
+    m.run();
+    AbortAccounting r;
+    r.victim = m.stats().threads[0];
+    r.aborts = m.stats().aggregateThreads().txAborted;
+    return r;
+}
+
+TEST(AbortPath, AbortedAttemptCyclesLandInTxAbortedBucket)
+{
+    const AbortAccounting base = runOneAbort(0);
+    const AbortAccounting plus = runOneAbort(77);
+    ASSERT_EQ(base.aborts, 1u);
+    ASSERT_EQ(plus.aborts, 1u);
+    EXPECT_EQ(base.victim.txCommitted, 1u);
+
+    // The victim does nothing outside its transaction: not one cycle
+    // of the aborted attempt (nor of the backoff stall) may leak into
+    // nonTxCycles.
+    EXPECT_EQ(base.victim.nonTxCycles, 0u);
+    EXPECT_EQ(plus.victim.nonTxCycles, 0u);
+
+    // The extra abortCost is attributed to the wasted attempt, exactly.
+    EXPECT_EQ(plus.victim.txAbortedCycles,
+              base.victim.txAbortedCycles + 77);
+
+    // Wasted-cycle buckets partition txAbortedCycles.
+    Cycle bucketed = 0;
+    for (auto w : base.victim.wastedByCause)
+        bucketed += w;
+    EXPECT_EQ(bucketed, base.victim.txAbortedCycles);
+
+    // Exact attribution pinned on the pre-unwind simulator.
+    EXPECT_EQ(base.victim.txAbortedCycles, 166u);
+    EXPECT_EQ(base.victim.txCommittedCycles, 70u);
+}
+
+TEST(AbortPath, CooperativeTxAbortMakesOpsNoOpsAndRetries)
+{
+    MachineConfig c;
+    c.numCores = 1;
+    Machine m(c);
+    const Addr a = m.allocator().allocLines(1);
+    m.memory().write<int64_t>(a, 41);
+    int attempts = 0;
+    int64_t seen_after_abort = -1;
+    m.addThread([&](ThreadContext &ctx) {
+        ctx.txRun([&] {
+            attempts++;
+            ctx.write<int64_t>(a, 77);
+            if (attempts == 1) {
+                ctx.txAbort();
+                EXPECT_TRUE(ctx.txAborted());
+                // Pending abort: reads return the zero sentinel and
+                // writes vanish; the body returns and txRun retries.
+                seen_after_abort = ctx.read<int64_t>(a);
+                ctx.write<int64_t>(a, 1234);
+                return;
+            }
+        });
+    });
+    m.run();
+    EXPECT_EQ(attempts, 2);
+    EXPECT_EQ(seen_after_abort, 0);
+    EXPECT_EQ(m.memory().read<int64_t>(a), 77);
+    const ThreadStats agg = m.stats().aggregateThreads();
+    EXPECT_EQ(agg.txCommitted, 1u);
+    EXPECT_EQ(agg.txAborted, 1u);
+    EXPECT_EQ(agg.abortsByCause[size_t(AbortCause::Explicit)], 1u);
+}
+
+TEST(AbortPath, NonCooperativeBodyHitsTheExceptionFallback)
+{
+    MachineConfig c;
+    c.numCores = 1;
+    Machine m(c);
+    const Addr a = m.allocator().allocLines(1);
+    int attempts = 0;
+    m.addThread([&](ThreadContext &ctx) {
+        ctx.txRun([&] {
+            attempts++;
+            if (attempts == 1) {
+                ctx.txAbort();
+                // Never check txAborted(): spin past the no-op budget
+                // so the AbortException fallback force-unwinds us out
+                // of this (otherwise infinite) loop.
+                for (;;)
+                    ctx.read<int64_t>(a);
+            }
+            ctx.write<int64_t>(a, 7);
+        });
+    });
+    m.run();
+    EXPECT_EQ(attempts, 2);
+    EXPECT_EQ(m.memory().read<int64_t>(a), 7);
+    const ThreadStats agg = m.stats().aggregateThreads();
+    EXPECT_EQ(agg.txCommitted, 1u);
+    EXPECT_EQ(agg.txAborted, 1u);
+}
+
+/**
+ * Deep-gather case: 256 threads share one bounded counter; the
+ * drainer's gathers and full reductions fan out over 255 U sharers.
+ * On the old recursive reduction re-entry this nested the directory
+ * walk, the handler, and the handler's access() frames per donor; the
+ * drain-loop path runs them iteratively at fixed depth.
+ */
+TEST(AbortPath, DeepGatherAt256Threads)
+{
+    MachineConfig c = MachineConfig::forCores(256);
+    c.mode = SystemMode::CommTm;
+    Machine m(c);
+    const Label bounded = BoundedCounter::defineLabel(m);
+    BoundedCounter counter(m, bounded, 0);
+    constexpr int64_t kDeposit = 300; // > 255 so splitters donate >= 1
+    uint64_t drained = 0;
+    for (uint32_t t = 0; t < 256; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            if (t != 0)
+                counter.increment(ctx, kDeposit);
+            ctx.barrier();
+            if (t == 0) {
+                // Thread 0 deposited nothing: the first decrement must
+                // gather donations from all 255 sharers.
+                for (int i = 0; i < 8; i++) {
+                    if (counter.decrement(ctx))
+                        drained++;
+                }
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(drained, 8u);
+    EXPECT_EQ(counter.peek(m), 255 * kDeposit - 8);
+    EXPECT_GE(m.stats().machine.gathers, 1u);
+    EXPECT_GE(m.stats().machine.splits, 200u);
+}
+
+} // namespace
+} // namespace commtm

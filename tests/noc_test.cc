@@ -1,0 +1,85 @@
+/**
+ * @file
+ * NoC and geometry tests: the bank-to-tile placement (bankTile), its
+ * use by NocModel::coreToBank, and validate()'s rejection of ragged
+ * bank/tile geometries (the old mapping silently aliased banks onto
+ * wrong tiles whenever l3Banks != numTiles).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/noc.h"
+#include "sim/config.h"
+
+namespace commtm {
+namespace {
+
+TEST(Noc, BankTileIsIdentityWhenBanksMatchTiles)
+{
+    MachineConfig c; // Table I: 16 banks, 16 tiles
+    ASSERT_EQ(c.validate(), nullptr);
+    for (uint32_t b = 0; b < c.l3Banks; b++)
+        EXPECT_EQ(c.bankTile(b), b);
+    // forCores keeps one bank per tile at every scale.
+    const MachineConfig big = MachineConfig::forCores(512);
+    ASSERT_EQ(big.validate(), nullptr);
+    for (uint32_t b = 0; b < big.l3Banks; b++)
+        EXPECT_EQ(big.bankTile(b), b);
+}
+
+TEST(Noc, MoreBanksThanTilesStripeRoundRobin)
+{
+    MachineConfig c;
+    c.l3Banks = 32; // two banks per tile
+    ASSERT_EQ(c.validate(), nullptr);
+    for (uint32_t b = 0; b < c.l3Banks; b++) {
+        EXPECT_EQ(c.bankTile(b), b % c.numTiles);
+        EXPECT_LT(c.bankTile(b), c.numTiles);
+    }
+}
+
+TEST(Noc, FewerBanksThanTilesSpreadOverTheMesh)
+{
+    MachineConfig c;
+    c.l3Banks = 4; // every fourth tile hosts a bank
+    ASSERT_EQ(c.validate(), nullptr);
+    EXPECT_EQ(c.bankTile(0), 0u);
+    EXPECT_EQ(c.bankTile(1), 4u);
+    EXPECT_EQ(c.bankTile(2), 8u);
+    EXPECT_EQ(c.bankTile(3), 12u);
+    // The old `bank % numTiles` crowded all four banks onto tiles
+    // 0..3; the spread placement must stay in-grid and collision-free.
+    for (uint32_t b = 0; b < c.l3Banks; b++)
+        EXPECT_LT(c.bankTile(b), c.numTiles);
+}
+
+TEST(Noc, ValidateRejectsRaggedBankGeometries)
+{
+    MachineConfig c;
+    c.l3Banks = 12; // 12 % 16 != 0 and 16 % 12 != 0
+    EXPECT_NE(c.validate(), nullptr);
+    c.l3Banks = 24; // more banks than tiles, but not a multiple
+    EXPECT_NE(c.validate(), nullptr);
+    c.l3Banks = 48; // 3 banks per tile: fine
+    EXPECT_EQ(c.validate(), nullptr);
+    c.l3Banks = 8; // every other tile: fine
+    EXPECT_EQ(c.validate(), nullptr);
+}
+
+TEST(Noc, CoreToBankUsesTheBankTilePlacement)
+{
+    MachineConfig c;
+    c.l3Banks = 4;
+    ASSERT_EQ(c.validate(), nullptr);
+    const NocModel noc(c);
+    // Core 0 sits on tile 0; bank 3 sits on tile 12 (mesh corner
+    // (0,3)): 3 hops, not the 3-tile-aliased 2 hops of the old map.
+    EXPECT_EQ(noc.hops(c.coreTile(0), c.bankTile(3)), 3u);
+    EXPECT_EQ(noc.coreToBank(0, 3),
+              noc.latency(c.coreTile(0), c.bankTile(3)));
+    // Same-tile access is router-only at every geometry.
+    EXPECT_EQ(noc.coreToBank(0, 0), c.routerLatency);
+}
+
+} // namespace
+} // namespace commtm
