@@ -76,6 +76,29 @@ modeName(SystemMode mode)
     return "?";
 }
 
+/** Machine for a (system, detection) bench row — the eager/lazy
+ *  variants the STAMP-port benches sweep. */
+inline MachineConfig
+machineCfg(SystemMode mode, ConflictDetection detection,
+           uint32_t threads)
+{
+    MachineConfig cfg = machineCfg(mode, threads);
+    cfg.conflictDetection = detection;
+    return cfg;
+}
+
+/** Row label for a (system, detection, threads) bench row: the
+ *  baseline file keys on these strings ("CommTM/lazy @128t"), so
+ *  every bench must build them identically. */
+inline std::string
+rowName(SystemMode mode, ConflictDetection detection, uint32_t threads)
+{
+    std::string row = modeName(mode);
+    if (detection == ConflictDetection::Lazy)
+        row += "/lazy";
+    return row + " @" + std::to_string(threads) + "t";
+}
+
 /** Per-figure cache of the reference runtime (baseline HTM, 1 thread).
  *  Rows must be registered baseline-first so the reference fills in
  *  before the other systems report speedups. */
@@ -466,18 +489,18 @@ reportStats(benchmark::State &state, const std::string &family,
 }
 
 /**
- * Figure-bench variant: fill the standard counters, label the row
- * "<Mode> @<threads>t", and record the exact counters for the
- * baseline subsystem (--check-baseline / --write-baseline).
+ * Figure-bench variant with an explicit row label: fill the standard
+ * counters, label the row, and record the exact counters for the
+ * baseline subsystem (--check-baseline / --write-baseline). Used by
+ * benches whose rows are not fully described by (mode, threads) —
+ * e.g. the eager/lazy variants of the new STAMP workloads.
  */
 inline void
 reportStats(benchmark::State &state, const std::string &family,
-            SystemMode mode, uint32_t threads, const StatsSnapshot &stats)
+            const std::string &row, const StatsSnapshot &stats)
 {
     reportStats(state, family, stats);
     const ThreadStats agg = stats.aggregateThreads();
-    const std::string row = std::string(modeName(mode)) + " @" +
-                            std::to_string(threads) + "t";
     state.SetLabel(row);
     baseline::Recorded rec;
     rec.family = family;
@@ -488,6 +511,19 @@ reportStats(benchmark::State &state, const std::string &family,
     rec.entry.speedup =
         referenceCycles(family) / double(stats.runtimeCycles());
     baseline::recordedRows().push_back(rec);
+}
+
+/**
+ * Figure-bench variant: standard "<Mode> @<threads>t" row label.
+ */
+inline void
+reportStats(benchmark::State &state, const std::string &family,
+            SystemMode mode, uint32_t threads, const StatsSnapshot &stats)
+{
+    reportStats(state, family,
+                std::string(modeName(mode)) + " @" +
+                    std::to_string(threads) + "t",
+                stats);
 }
 
 /** Thread counts swept in the paper's figures (x-axes of Figs. 9-16). */

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * intruder (STAMP port beyond the paper's five applications): packet
+ * reassembly driven by a shared CommQueue. The queue descriptor is
+ * the contended structure — every capture-phase enqueue and every
+ * reassembly-phase dequeue goes through it — so the baseline HTM
+ * serializes on it while CommTM keeps per-core partial queues and
+ * moves whole chunks with gathers. Each system runs under both eager
+ * and lazy (TCC/Bulk-style) conflict detection; all rows carry
+ * checked-in exact-counter baselines.
+ */
+
+#include "bench_util.h"
+
+#include "apps/intruder.h"
+
+namespace commtm {
+namespace {
+
+void
+BM_Fig16_Intruder(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto detection = ConflictDetection(state.range(1));
+    const auto threads = uint32_t(state.range(2));
+    IntruderConfig cfg;
+    cfg.numFlows = 1024; // scaled down from STAMP's stream (see docs)
+    cfg.maxFrags = 8;
+    IntruderResult r;
+    for (auto _ : state)
+        r = runIntruder(
+            benchutil::machineCfg(mode, detection, threads), threads,
+            cfg);
+    if (!r.valid())
+        state.SkipWithError("intruder reassembly/detection mismatch");
+    benchutil::reportStats(state, "fig16_intruder",
+                           benchutil::rowName(mode, detection,
+                                              threads),
+                           r.stats);
+    state.counters["flows"] = double(r.flowsCompleted);
+    state.counters["attacks"] = double(r.attacksDetected);
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Fig16_Intruder)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   {int(commtm::ConflictDetection::Eager),
+                    int(commtm::ConflictDetection::Lazy)},
+                   {1, 32, 128}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+COMMTM_BENCH_MAIN();

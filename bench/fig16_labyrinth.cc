@@ -1,0 +1,57 @@
+/**
+ * @file
+ * labyrinth (STAMP port beyond the paper's five applications): grid
+ * routing with all-or-nothing path claims on a GridClaim table. On the
+ * baseline HTM every claim transaction conflicts at cache-line
+ * granularity (64 cells per line); GridClaim's per-cell tokens make
+ * claims of different cells commute, so only true cell overlaps
+ * serialize. Each system runs under both eager and lazy conflict
+ * detection; all rows carry checked-in exact-counter baselines.
+ */
+
+#include "bench_util.h"
+
+#include "apps/labyrinth.h"
+
+namespace commtm {
+namespace {
+
+void
+BM_Fig16_Labyrinth(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto detection = ConflictDetection(state.range(1));
+    const auto threads = uint32_t(state.range(2));
+    LabyrinthConfig cfg;
+    cfg.width = 128; // scaled down from STAMP's 512x512 maze (see docs)
+    cfg.height = 128;
+    cfg.numPaths = 1024;
+    cfg.maxDisp = 8; // short routes: the grid stays undersubscribed
+    LabyrinthResult r;
+    for (auto _ : state)
+        r = runLabyrinth(
+            benchutil::machineCfg(mode, detection, threads), threads,
+            cfg);
+    if (!r.valid())
+        state.SkipWithError("labyrinth token/overlap mismatch");
+    benchutil::reportStats(state, "fig16_labyrinth",
+                           benchutil::rowName(mode, detection,
+                                              threads),
+                           r.stats);
+    state.counters["routed"] = double(r.pathsRouted);
+    state.counters["cells"] = double(r.cellsClaimed);
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Fig16_Labyrinth)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   {int(commtm::ConflictDetection::Eager),
+                    int(commtm::ConflictDetection::Lazy)},
+                   {1, 32, 128}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+COMMTM_BENCH_MAIN();

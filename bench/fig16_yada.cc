@@ -1,0 +1,56 @@
+/**
+ * @file
+ * yada (STAMP port beyond the paper's five applications): worklist-
+ * driven mesh refinement over a CommQueue. The worklist is both
+ * producer and consumer hot — every refinement dequeues one element
+ * and enqueues its children — so the baseline HTM serializes on the
+ * queue descriptor while CommTM keeps the worklist per-core and
+ * steals whole chunks via gathers only when a worker runs dry. Each
+ * system runs under both eager and lazy conflict detection; all rows
+ * carry checked-in exact-counter baselines.
+ */
+
+#include "bench_util.h"
+
+#include "apps/yada.h"
+
+namespace commtm {
+namespace {
+
+void
+BM_Fig16_Yada(benchmark::State &state)
+{
+    const auto mode = SystemMode(state.range(0));
+    const auto detection = ConflictDetection(state.range(1));
+    const auto threads = uint32_t(state.range(2));
+    YadaConfig cfg;
+    cfg.initialBad = 512; // scaled down from STAMP's ttimeu inputs
+    cfg.maxDepth = 6;
+    cfg.cavityCost = 96;
+    YadaResult r;
+    for (auto _ : state)
+        r = runYada(
+            benchutil::machineCfg(mode, detection, threads), threads,
+            cfg);
+    if (!r.valid())
+        state.SkipWithError("yada refinement mismatch");
+    benchutil::reportStats(state, "fig16_yada",
+                           benchutil::rowName(mode, detection,
+                                              threads),
+                           r.stats);
+    state.counters["elements"] = double(r.elementsProcessed);
+}
+
+} // namespace
+} // namespace commtm
+
+BENCHMARK(commtm::BM_Fig16_Yada)
+    ->ArgsProduct({{int(commtm::SystemMode::BaselineHtm),
+                    int(commtm::SystemMode::CommTm)},
+                   {int(commtm::ConflictDetection::Eager),
+                    int(commtm::ConflictDetection::Lazy)},
+                   {1, 32, 128}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+COMMTM_BENCH_MAIN();

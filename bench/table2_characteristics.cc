@@ -13,9 +13,12 @@
 
 #include "apps/boruvka.h"
 #include "apps/genome.h"
+#include "apps/intruder.h"
 #include "apps/kmeans.h"
+#include "apps/labyrinth.h"
 #include "apps/ssca2.h"
 #include "apps/vacation.h"
+#include "apps/yada.h"
 
 namespace commtm {
 namespace {
@@ -33,6 +36,10 @@ report(benchmark::State &state, const StatsSnapshot &stats,
     state.counters["gathers_measured"] = double(stats.machine.gathers);
     state.counters["splits"] = double(stats.machine.splits);
     state.counters["reductions"] = double(stats.machine.reductions);
+    // Abort characterization (read/write-set conflicts observed on
+    // CommTM at the measurement thread count).
+    state.counters["commits"] = double(agg.txCommitted);
+    state.counters["aborts"] = double(agg.txAborted);
     state.SetLabel(ops);
 }
 
@@ -114,6 +121,59 @@ BM_Table2_Vacation(benchmark::State &state)
            true);
 }
 
+void
+BM_Table2_Intruder(benchmark::State &state)
+{
+    IntruderResult r;
+    for (auto _ : state) {
+        IntruderConfig cfg;
+        cfg.numFlows = 256;
+        r = runIntruder(benchutil::machineCfg(SystemMode::CommTm),
+                        kThreads, cfg);
+    }
+    report(state, r.stats,
+           "fragment stream (chunked FIFO CommQueue); "
+           "attack counter (64b ADD); reassembly-table space "
+           "(bounded 64b ADD)",
+           true);
+}
+
+void
+BM_Table2_Labyrinth(benchmark::State &state)
+{
+    LabyrinthResult r;
+    for (auto _ : state) {
+        LabyrinthConfig cfg;
+        cfg.width = 64;
+        cfg.height = 64;
+        cfg.numPaths = 256;
+        cfg.maxDisp = 8;
+        r = runLabyrinth(benchutil::machineCfg(SystemMode::CommTm),
+                         kThreads, cfg);
+    }
+    report(state, r.stats,
+           "routing tasks (chunked FIFO CommQueue); "
+           "grid cell claims (bounded 8b ADD, spatial splitter)",
+           true);
+}
+
+void
+BM_Table2_Yada(benchmark::State &state)
+{
+    YadaResult r;
+    for (auto _ : state) {
+        YadaConfig cfg;
+        cfg.initialBad = 128;
+        cfg.maxDepth = 5;
+        r = runYada(benchutil::machineCfg(SystemMode::CommTm), kThreads,
+                    cfg);
+    }
+    report(state, r.stats,
+           "bad-element worklist (chunked FIFO CommQueue); "
+           "refined counter (64b ADD); quality floor (64b MIN)",
+           true);
+}
+
 } // namespace
 } // namespace commtm
 
@@ -126,6 +186,12 @@ BENCHMARK(commtm::BM_Table2_Ssca2)->Iterations(1)->Unit(
 BENCHMARK(commtm::BM_Table2_Genome)->Iterations(1)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(commtm::BM_Table2_Vacation)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(commtm::BM_Table2_Intruder)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(commtm::BM_Table2_Labyrinth)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(commtm::BM_Table2_Yada)->Iterations(1)->Unit(
     benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -58,6 +58,7 @@ HtmManager::lazyArbitrate(CoreId committer)
     // conflicting line, so the abort-cause counters are deterministic.
     Tx &me = txs_[committer];
     const std::vector<Addr> write_lines = me.writeSet.sortedKeys();
+    const std::vector<Addr> labeled_lines = me.labeledSet.sortedKeys();
     for (CoreId other = 0; other < CoreId(txs_.size()); other++) {
         if (other == committer)
             continue;
@@ -81,6 +82,23 @@ HtmManager::lazyArbitrate(CoreId committer)
                 conflict = true;
                 cause = AbortCause::LabeledConflict;
                 break;
+            }
+        }
+        // Published labeled (commutative) updates commute with each
+        // other, but NOT with conventional readers or writers of the
+        // same line: a transaction that read the full value saw a
+        // state this commit just changed. Eager mode rejects exactly
+        // this pair at access time (handleGETU battles conventional
+        // sharers with ForLabeled); deferring those battles is only
+        // sound if they are re-checked here. Without this, a claim
+        // over a bounded cell could commit against a stale full read
+        // whose token a concurrent labeled commit had already moved
+        // (caught by the GridClaim fuzz wall).
+        for (size_t i = 0; !conflict && i < labeled_lines.size(); i++) {
+            const Addr line = labeled_lines[i];
+            if (o.readSet.contains(line) || o.writeSet.contains(line)) {
+                conflict = true;
+                cause = AbortCause::LabeledConflict;
             }
         }
         if (conflict)

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * CommQueue implementation: per-core partial chunk lists under the
+ * reducible descriptor, a reduction that concatenates partial lists,
+ * and a splitter that donates the head chunk (up to kChunkCap elements
+ * per gather) to a gathering dequeuer.
+ */
+
+#include "lib/comm_queue.h"
+
+namespace commtm {
+
+namespace {
+
+struct QueueDesc {
+    Addr head;
+    Addr tail;
+};
+
+QueueDesc
+descOf(const LineData &line)
+{
+    QueueDesc d;
+    std::memcpy(&d, line.data(), sizeof(d));
+    return d;
+}
+
+void
+setDesc(LineData &line, const QueueDesc &d)
+{
+    std::memcpy(line.data(), &d, sizeof(d));
+}
+
+} // namespace
+
+Label
+CommQueue::defineLabel(Machine &machine)
+{
+    LabelInfo info;
+    info.name = "QUEUE";
+    info.identity.fill(0); // empty queue: head = tail = null
+
+    // Reduction: concatenate the incoming partial chunk list onto the
+    // local one. Link via a non-speculative write to the local tail
+    // chunk's next pointer (same shape as CommList's Fig. 11a).
+    info.reduce = [](HandlerContext &ctx, LineData &local,
+                     const LineData &incoming) {
+        QueueDesc mine = descOf(local);
+        const QueueDesc theirs = descOf(incoming);
+        if (theirs.head == 0)
+            return;
+        if (mine.head == 0) {
+            mine = theirs;
+        } else {
+            ctx.write<Addr>(mine.tail + CommQueue::kNextOff,
+                            theirs.head);
+            mine.tail = theirs.tail;
+        }
+        setDesc(local, mine);
+        ctx.compute(4);
+    };
+
+    // Splitter: donate the whole head chunk. A single gather can move
+    // up to kChunkCap elements, so consumer-heavy phases gather once
+    // per chunk rather than once per element.
+    info.split = [](HandlerContext &ctx, LineData &local, LineData &out,
+                    uint32_t /* num_sharers */) {
+        QueueDesc mine = descOf(local);
+        if (mine.head == 0)
+            return; // nothing to donate; out stays the identity
+        QueueDesc donation;
+        donation.head = donation.tail = mine.head;
+        const Addr next =
+            ctx.read<Addr>(mine.head + CommQueue::kNextOff);
+        ctx.write<Addr>(mine.head + CommQueue::kNextOff, 0);
+        mine.head = next;
+        if (next == 0)
+            mine.tail = 0;
+        setDesc(local, mine);
+        setDesc(out, donation);
+        ctx.compute(4);
+    };
+    // Donate only from surplus: a sharer whose partial queue holds a
+    // single chunk keeps it (its own dequeues consume it locally; the
+    // tail chunk is also the one its enqueues are still filling).
+    info.splitProbe = [](const LineData &local, uint32_t) {
+        const QueueDesc d = descOf(local);
+        return d.head != 0 && d.head != d.tail;
+    };
+    return machine.labels().define(std::move(info));
+}
+
+CommQueue::CommQueue(Machine &machine, Label label, bool baseline_layout)
+    : machine_(machine), label_(label)
+{
+    if (baseline_layout) {
+        // The baseline allocates head and tail on different lines to
+        // avoid false sharing (as in CommList / the paper's Sec. VI).
+        head_ = machine.allocator().allocLines(1);
+        tail_ = machine.allocator().allocLines(1);
+    } else {
+        // CommTM: one reducible descriptor line holding {head, tail}.
+        head_ = machine.allocator().allocLines(1);
+        tail_ = head_ + 8;
+    }
+}
+
+void
+CommQueue::enqueue(ThreadContext &ctx, uint64_t value)
+{
+    ctx.txRun([&] {
+        const Addr tail = ctx.readLabeled<Addr>(tail_, label_);
+        uint32_t wr = 0;
+        if (tail != 0)
+            wr = ctx.read<uint32_t>(tail + kWrOff);
+        // Cooperative unwind, and load-bearing (the TopK-style
+        // address-drift hazard): an aborted attempt zeroes the reads
+        // above, so tail == 0 here may be the abort sentinel, not an
+        // empty queue — acting on it would host-allocate a chunk on
+        // EVERY doomed attempt, even mid-chunk. (A doom that latches
+        // after this check, during the initialization writes below,
+        // can still orphan the one chunk a boundary attempt
+        // legitimately allocated; that is rare, bounded to boundary
+        // attempts, and deterministic per seed.)
+        if (ctx.txAborted())
+            return;
+        if (tail == 0 || wr == kChunkCap) {
+            // Chunk boundary: start a fresh chunk holding this value.
+            const Addr chunk = machine_.allocator().allocLines(1);
+            ctx.write<Addr>(chunk + kNextOff, 0);
+            ctx.write<uint32_t>(chunk + kRdOff, 0);
+            ctx.write<uint32_t>(chunk + kWrOff, 1);
+            ctx.write<uint64_t>(chunk + kValsOff, value);
+            if (tail == 0) {
+                ctx.writeLabeled<Addr>(head_, label_, chunk);
+            } else {
+                // The old tail belongs to this core's partial list (or
+                // to the global list in the baseline); link behind it.
+                ctx.write<Addr>(tail + kNextOff, chunk);
+            }
+            ctx.writeLabeled<Addr>(tail_, label_, chunk);
+        } else {
+            ctx.write<uint64_t>(tail + kValsOff + 8 * Addr(wr), value);
+            ctx.write<uint32_t>(tail + kWrOff, wr + 1);
+        }
+    });
+}
+
+bool
+CommQueue::dequeueImpl(ThreadContext &ctx, uint64_t *out,
+                       bool allow_reduction)
+{
+    bool ok = false;
+    ctx.txRun([&] {
+        ok = false;
+        Addr head = ctx.readLabeled<Addr>(head_, label_);
+        if (head == 0) {
+            // Local partial list empty: gather a donated chunk.
+            head = ctx.readGather<Addr>(head_, label_);
+            if (head == 0) {
+                if (!allow_reduction)
+                    return;
+                // Still empty: check the true state (full reduction).
+                head = ctx.read<Addr>(head_);
+                if (head == 0)
+                    return;
+            }
+        }
+        if (ctx.txAborted())
+            return; // head is garbage on an aborted attempt
+        const uint32_t rd = ctx.read<uint32_t>(head + kRdOff);
+        const uint32_t wr = ctx.read<uint32_t>(head + kWrOff);
+        if (ctx.txAborted())
+            return; // rd/wr are garbage; indexing with them is UB-ish
+        *out = ctx.read<uint64_t>(head + kValsOff + 8 * Addr(rd));
+        if (rd + 1 == wr) {
+            // Chunk drained: unlink it. Capacity the chunk never used
+            // is abandoned with it (the tail pointer moves on).
+            const Addr next = ctx.read<Addr>(head + kNextOff);
+            ctx.writeLabeled<Addr>(head_, label_, next);
+            if (next == 0)
+                ctx.writeLabeled<Addr>(tail_, label_, 0);
+        } else {
+            ctx.write<uint32_t>(head + kRdOff, rd + 1);
+        }
+        ok = true;
+    });
+    return ok;
+}
+
+bool
+CommQueue::dequeue(ThreadContext &ctx, uint64_t *out)
+{
+    return dequeueImpl(ctx, out, /* allow_reduction */ true);
+}
+
+bool
+CommQueue::tryDequeue(ThreadContext &ctx, uint64_t *out)
+{
+    return dequeueImpl(ctx, out, /* allow_reduction */ false);
+}
+
+std::vector<uint64_t>
+CommQueue::peekAll(Machine &machine) const
+{
+    std::vector<uint64_t> values;
+    const auto walk = [&](Addr h) {
+        while (h != 0) {
+            const auto rd = machine.memory().read<uint32_t>(h + kRdOff);
+            const auto wr = machine.memory().read<uint32_t>(h + kWrOff);
+            for (uint32_t i = rd; i < wr; i++) {
+                values.push_back(machine.memory().read<uint64_t>(
+                    h + kValsOff + 8 * Addr(i)));
+            }
+            h = machine.memory().read<Addr>(h + kNextOff);
+        }
+    };
+    const auto copies = machine.memSys().debugUCopies(lineAddr(head_));
+    if (copies.empty()) {
+        walk(machine.memory().read<Addr>(head_));
+    } else {
+        for (const LineData &copy : copies) {
+            Addr h;
+            std::memcpy(&h, copy.data() + lineOffset(head_), sizeof(h));
+            walk(h);
+        }
+    }
+    return values;
+}
+
+uint64_t
+CommQueue::peekSize(Machine &machine) const
+{
+    return peekAll(machine).size();
+}
+
+} // namespace commtm

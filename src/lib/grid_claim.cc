@@ -1,0 +1,260 @@
+/**
+ * @file
+ * GridClaim implementation: token-per-cell claim table on a per-byte
+ * bounded-ADD label. Claims follow the paper's conditionally-
+ * commutative decrement (local check, then gather, then full-read
+ * fallback, Sec. IV); multi-cell claims compensate within their own
+ * transaction, so a failed path claim never commits a partial claim.
+ */
+
+#include "lib/grid_claim.h"
+
+namespace commtm {
+
+Label
+GridClaim::defineLabel(Machine &machine)
+{
+    // Per-byte ADD reduction (element-wise merge of the line's 64
+    // cells), but with a SPATIAL splitter: a fair per-cell fraction of
+    // a 0/1 token is always zero (floor rounding, label.h), so the
+    // generic ADD splitter never moves claim tokens. Instead the
+    // donor hands over every second nonzero cell outright — token
+    // redistribution at cell granularity. Repeated gathers partition
+    // a line's cells dynamically across claimants, which is what lets
+    // claims of different cells in one line proceed without any
+    // coherence traffic.
+    LabelInfo info;
+    info.name = "GRID";
+    info.identity.fill(0);
+    info.reduce = [](HandlerContext &ctx, LineData &local,
+                     const LineData &incoming) {
+        for (size_t i = 0; i < kLineSize; i++)
+            local[i] = uint8_t(local[i] + incoming[i]);
+        ctx.compute(kLineSize / 8);
+    };
+    info.split = [](HandlerContext &ctx, LineData &local, LineData &out,
+                    uint32_t /* num_sharers */) {
+        bool donate = false; // keep the first nonzero cell
+        for (size_t i = 0; i < kLineSize; i++) {
+            if (local[i] == 0)
+                continue;
+            if (donate) {
+                out[i] = local[i];
+                local[i] = 0;
+            }
+            donate = !donate;
+        }
+        ctx.compute(kLineSize / 8);
+    };
+    // Donate only from surplus: a sharer holding a single occupied
+    // cell keeps it.
+    info.splitProbe = [](const LineData &local, uint32_t) {
+        uint32_t nonzero = 0;
+        for (size_t i = 0; i < kLineSize; i++) {
+            if (local[i] != 0 && ++nonzero >= 2)
+                return true;
+        }
+        return false;
+    };
+    return machine.labels().define(std::move(info));
+}
+
+GridClaim::GridClaim(Machine &machine, Label label, uint32_t width,
+                     uint32_t height, uint8_t capacity)
+    : machine_(machine),
+      base_(machine.allocator().alloc(size_t(width) * height, kLineSize)),
+      label_(label), width_(width), height_(height), capacity_(capacity)
+{
+    for (uint32_t c = 0; c < width * height; c++)
+        machine.memory().write<uint8_t>(base_ + c, capacity);
+}
+
+bool
+GridClaim::claimOne(ThreadContext &ctx, uint32_t cell)
+{
+    assert(cell < numCells());
+    const Addr a = cellAddr(cell);
+    // Local tokens first: if this core's partial value is positive the
+    // claim is fully commutative and conflict-free. Otherwise try to
+    // gather tokens from other caches, then fall back to a plain load
+    // (full reduction) to learn the true count.
+    uint8_t tokens = ctx.readLabeled<uint8_t>(a, label_);
+    if (tokens == 0) {
+        tokens = ctx.readGather<uint8_t>(a, label_);
+        if (tokens == 0) {
+            tokens = ctx.read<uint8_t>(a);
+            if (tokens == 0)
+                return false;
+        }
+    }
+    if (ctx.txAborted())
+        return false; // tokens is garbage; the enclosing txRun retries
+    ctx.writeLabeled<uint8_t>(a, label_, uint8_t(tokens - 1));
+    return true;
+}
+
+void
+GridClaim::releaseOne(ThreadContext &ctx, uint32_t cell)
+{
+    assert(cell < numCells());
+    const Addr a = cellAddr(cell);
+    const uint8_t tokens = ctx.readLabeled<uint8_t>(a, label_);
+    ctx.writeLabeled<uint8_t>(a, label_, uint8_t(tokens + 1));
+}
+
+bool
+GridClaim::claim(ThreadContext &ctx, uint32_t cell)
+{
+    bool ok = false;
+    ctx.txRun([&] { ok = claimOne(ctx, cell); });
+    return ok;
+}
+
+void
+GridClaim::release(ThreadContext &ctx, uint32_t cell)
+{
+    ctx.txRun([&] { releaseOne(ctx, cell); });
+}
+
+bool
+GridClaim::claimLineGroup(ThreadContext &ctx,
+                          const std::vector<uint32_t> &cells, size_t lo,
+                          size_t hi)
+{
+    // Probe the group's cells in the local copy; one gather (which
+    // pulls whole donated cells, see defineLabel) if anything is
+    // missing, then re-probe.
+    bool all_local = true;
+    for (size_t k = lo; k < hi; k++) {
+        if (ctx.readLabeled<uint8_t>(cellAddr(cells[k]), label_) == 0) {
+            all_local = false;
+            break;
+        }
+    }
+    if (!all_local) {
+        (void)ctx.readGather<uint8_t>(cellAddr(cells[lo]), label_);
+        all_local = true;
+        for (size_t k = lo; k < hi; k++) {
+            if (ctx.readLabeled<uint8_t>(cellAddr(cells[k]), label_) ==
+                0) {
+                all_local = false;
+                break;
+            }
+        }
+    }
+    if (ctx.txAborted())
+        return false;
+    uint8_t vals[kLineSize];
+    assert(hi - lo <= kLineSize);
+    if (all_local) {
+        // Pure commutative mode: every token is in our partial copy;
+        // the decrements are labeled RMWs with no coherence traffic.
+        for (size_t k = lo; k < hi; k++) {
+            vals[k - lo] =
+                ctx.readLabeled<uint8_t>(cellAddr(cells[k]), label_);
+        }
+    } else {
+        // Reduced mode: learn the true values with conventional reads
+        // (the first triggers a full reduction) BEFORE any write to
+        // this line. Read-then-write order matters twice over: writes
+        // after the reduction execute on whole-value semantics
+        // (markSpec classifies them conventionally on the M line),
+        // and a conventional read AFTER a labeled write to the same
+        // line would self-demote the transaction (Sec. III-B4). The
+        // earlier labeled probe values are stale after the reduction
+        // folded our copy in, so every cell is re-read.
+        for (size_t k = lo; k < hi; k++)
+            vals[k - lo] = ctx.read<uint8_t>(cellAddr(cells[k]));
+    }
+    if (ctx.txAborted())
+        return false;
+    for (size_t k = lo; k < hi; k++) {
+        if (vals[k - lo] == 0)
+            return false; // group fails whole; nothing written yet
+    }
+    for (size_t k = lo; k < hi; k++) {
+        ctx.writeLabeled<uint8_t>(cellAddr(cells[k]), label_,
+                                  uint8_t(vals[k - lo] - 1));
+    }
+    return true;
+}
+
+bool
+GridClaim::claimPath(ThreadContext &ctx,
+                     const std::vector<uint32_t> &cells)
+{
+#ifndef NDEBUG
+    // Precondition: same-line cells contiguous, no duplicates (see
+    // header — non-contiguous line revisits would self-demote).
+    for (size_t i = 0; i < cells.size(); i++) {
+        for (size_t j = i + 1; j < cells.size(); j++) {
+            assert(cells[i] != cells[j] && "duplicate cell in path");
+            assert((lineAddr(cellAddr(cells[i])) !=
+                        lineAddr(cellAddr(cells[j])) ||
+                    lineAddr(cellAddr(cells[j - 1])) ==
+                        lineAddr(cellAddr(cells[j]))) &&
+                   "same-line cells must be contiguous");
+        }
+    }
+#endif
+    bool ok = false;
+    ctx.txRun([&] {
+        ok = true;
+        size_t taken = 0;
+        // Claim contiguous same-line runs as one group: the tokens of
+        // a run arrive with at most one gather, and the whole run
+        // either claims locally or reads the line's true state once.
+        while (taken < cells.size()) {
+            const Addr line = lineAddr(cellAddr(cells[taken]));
+            size_t hi = taken;
+            while (hi < cells.size() &&
+                   lineAddr(cellAddr(cells[hi])) == line) {
+                hi++;
+            }
+            if (!claimLineGroup(ctx, cells, taken, hi)) {
+                ok = false;
+                break;
+            }
+            taken = hi;
+        }
+        if (ctx.txAborted()) {
+            ok = false;
+            return; // no compensation needed; nothing will commit
+        }
+        if (!ok) {
+            // All-or-nothing: hand back the tokens taken so far. The
+            // compensating increments are in the same transaction, so
+            // no partial claim is ever observable.
+            for (size_t i = 0; i < taken; i++)
+                releaseOne(ctx, cells[i]);
+        }
+    });
+    return ok;
+}
+
+uint8_t
+GridClaim::peekCell(Machine &machine, uint32_t cell) const
+{
+    const Addr a = cellAddr(cell);
+    const LineData line = machine.memSys().debugReducedValue(lineAddr(a));
+    return line[lineOffset(a)];
+}
+
+uint64_t
+GridClaim::peekTokens(Machine &machine) const
+{
+    uint64_t total = 0;
+    const uint32_t cells = numCells();
+    for (uint32_t c = 0; c < cells;) {
+        const LineData line =
+            machine.memSys().debugReducedValue(lineAddr(base_ + c));
+        const uint32_t in_line =
+            std::min<uint32_t>(cells - c, kLineSize - lineOffset(base_ + c));
+        for (uint32_t i = 0; i < in_line; i++)
+            total += line[lineOffset(base_ + c) + i];
+        c += in_line;
+    }
+    return total;
+}
+
+} // namespace commtm

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Region-claim table over a spatial grid — the path-locking pattern of
+ * labyrinth-style routers. Every cell holds a small token count
+ * (capacity 1 models exclusive cell ownership); claiming a cell is a
+ * conditionally-commutative bounded decrement of its token, releasing
+ * is a commutative increment, and a multi-cell claim is all-or-nothing
+ * inside one transaction. Claims of *different* cells — even cells
+ * packed into the same cache line — commute and stay local, which is
+ * exactly what a conventional HTM cannot express: there, the line
+ * granularity makes every nearby claim a conflict.
+ */
+
+#ifndef COMMTM_LIB_GRID_CLAIM_H
+#define COMMTM_LIB_GRID_CLAIM_H
+
+#include <vector>
+
+#include "rt/machine.h"
+
+namespace commtm {
+
+class GridClaim
+{
+  public:
+    /** Define the GRID label: per-byte bounded ADD (element-wise
+     *  reduction and fair-share splitter over the line's 64 cells). */
+    static Label defineLabel(Machine &machine);
+
+    /**
+     * @param capacity tokens per cell (1 = exclusive claims; larger
+     *        values model shared capacity, e.g. multi-wire channels,
+     *        and give the per-byte splitter something to donate).
+     * Tokens are written directly to simulated memory; construct
+     * before the parallel region.
+     */
+    GridClaim(Machine &machine, Label label, uint32_t width,
+              uint32_t height, uint8_t capacity = 1);
+
+    /**
+     * Claim one token of @p cell (paper-style conditional commutative
+     * decrement: local copy first, then gather, then full-read
+     * fallback). Runs as a (possibly nested) transaction.
+     * @return true if a token was taken, false if the cell is full.
+     */
+    bool claim(ThreadContext &ctx, uint32_t cell);
+
+    /** Return one token to @p cell (always commutative). */
+    void release(ThreadContext &ctx, uint32_t cell);
+
+    /**
+     * Claim every cell in @p cells, all or nothing, in a single
+     * transaction: if any cell is exhausted, tokens already taken are
+     * returned before the transaction commits and the claim fails as
+     * a whole.
+     *
+     * Preconditions (asserted): @p cells is duplicate-free, and cells
+     * on the same cache line are CONTIGUOUS in the vector. Contiguity
+     * is what lets each line be claimed as one group — revisiting a
+     * line after claiming cells on a later line would issue its
+     * conventional fallback read after labeled writes to it, the
+     * self-demotion case of Sec. III-B4. Geometric paths (e.g. the
+     * L-bends of labyrinth) satisfy this naturally.
+     * @return true iff every cell was claimed.
+     */
+    bool claimPath(ThreadContext &ctx,
+                   const std::vector<uint32_t> &cells);
+
+    /** Untimed committed token count of @p cell (reduces the line). */
+    uint8_t peekCell(Machine &machine, uint32_t cell) const;
+
+    /** Untimed committed token total over the whole grid. */
+    uint64_t peekTokens(Machine &machine) const;
+
+    uint32_t width() const { return width_; }
+    uint32_t height() const { return height_; }
+    uint32_t numCells() const { return width_ * height_; }
+    uint8_t capacity() const { return capacity_; }
+    Addr cellAddr(uint32_t cell) const { return base_ + cell; }
+
+  private:
+    /** Claim body usable inside an enclosing transaction. */
+    bool claimOne(ThreadContext &ctx, uint32_t cell);
+    void releaseOne(ThreadContext &ctx, uint32_t cell);
+    /** All-or-nothing claim of cells[lo, hi) on one cache line; on
+     *  failure nothing in the group has been written. */
+    bool claimLineGroup(ThreadContext &ctx,
+                        const std::vector<uint32_t> &cells, size_t lo,
+                        size_t hi);
+
+    Machine &machine_;
+    Addr base_; //!< width*height one-byte cells, line-aligned
+    Label label_;
+    uint32_t width_;
+    uint32_t height_;
+    uint8_t capacity_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_LIB_GRID_CLAIM_H

@@ -208,6 +208,9 @@ MemorySystem::clearSpec(CoreId core, Addr line)
     if (PrivLine *e1 = findL1(core, line)) {
         e1->specRead = false;
         e1->specWrite = false;
+        e1->notedRead = false;
+        e1->notedWrite = false;
+        e1->notedLabeled = false;
     }
 }
 
@@ -346,11 +349,17 @@ MemorySystem::battle(const Access &req, CoreId victim, Addr line,
     if (victim == req.core)
         return true;
     // Lazy (commit-time) detection: a speculative request never flags
-    // read/write conflicts; the committing transaction arbitrates.
-    // Reductions and splits stay immediate (docs/ARCHITECTURE.md Sec. 6).
+    // conventional read/write conflicts; the committing transaction
+    // arbitrates. U-state interactions — reductions, splits, AND GETU
+    // invalidations of conventional sharers (ForLabeled) — stay
+    // immediate (docs/ARCHITECTURE.md Sec. 6). Deferring ForLabeled
+    // let a line re-enter U between a transaction's conventional
+    // full-value read and its labeled write of the derived value; the
+    // write then committed into a fresh identity copy as a commutative
+    // partial on top of the still-circulating old value, minting
+    // tokens (caught by the GridClaim fuzz wall).
     if (cfg_.conflictDetection == ConflictDetection::Lazy && req.isTx &&
-        (kind == InvalKind::ForRead || kind == InvalKind::ForWrite ||
-         kind == InvalKind::ForLabeled)) {
+        (kind == InvalKind::ForRead || kind == InvalKind::ForWrite)) {
         return true;
     }
     PrivLine *e1 = findL1(victim, line);
@@ -396,25 +405,41 @@ MemorySystem::markSpec(const Access &req, Addr line)
     }
 #endif
     assert(e1 && "speculative access must leave the line in the L1");
-    const bool labeled = req.op == MemOp::LabeledLoad ||
-                         req.op == MemOp::LabeledStore ||
-                         req.op == MemOp::Gather;
+    // A labeled op is only a *commutative* access while the line is in
+    // U: satisfied by an exclusively-held (E/M) line it executes on
+    // the fully-reduced value (Fig. 3) — the conditionally-commutative
+    // fallback pattern (conventional read, then labeled write of the
+    // derived value) — so for commit-time arbitration it must count as
+    // a conventional read/write. Classifying it as Labeled let two
+    // lazy-mode transactions both claim the last token of a bounded
+    // cell: neither joined the write set, so lazyArbitrate's
+    // "commutative users don't conflict" rule never aborted the stale
+    // reader (caught by the GridClaim fuzz wall).
+    const bool labeled = (req.op == MemOp::LabeledLoad ||
+                          req.op == MemOp::LabeledStore ||
+                          req.op == MemOp::Gather) &&
+                         e1->state == PrivState::U;
     const bool is_load = !req.lazyWrite &&
                          (req.op == MemOp::Load ||
                           req.op == MemOp::LabeledLoad ||
                           req.op == MemOp::Gather);
-    bool newly = false;
-    if (is_load) {
-        newly = !e1->specRead;
+    if (is_load)
         e1->specRead = true;
-    } else {
-        newly = !e1->specWrite;
+    else
         e1->specWrite = true;
-    }
-    if (newly) {
-        const SpecKind kind = labeled ? SpecKind::Labeled
-                              : is_load ? SpecKind::Read
-                                        : SpecKind::Write;
+    // Note each signature KIND once per line (notedRead/Write/Labeled
+    // are separate bits): gating on specRead/specWrite alone dropped
+    // the conventional read of a line whose labeled access came first
+    // — so a lazy-mode transaction's stale full-value read was
+    // invisible to commit-time arbitration (GridClaim fuzz wall).
+    const SpecKind kind = labeled ? SpecKind::Labeled
+                          : is_load ? SpecKind::Read
+                                    : SpecKind::Write;
+    bool *noted = labeled ? &e1->notedLabeled
+                  : is_load ? &e1->notedRead
+                            : &e1->notedWrite;
+    if (!*noted) {
+        *noted = true;
         hookNoteSpecLine(req.core, line, kind);
     }
 }
@@ -470,10 +495,19 @@ void
 MemorySystem::onEvictL1(CoreId core, PrivLine &victim)
 {
     // Evicting speculatively-accessed data from the L1 aborts the
-    // transaction (Sec. III-B1 capacity rule; lazy mode tracks sets in
-    // signatures, so residency is not required).
-    if (victim.spec() && cfg_.conflictDetection == ConflictDetection::Eager &&
-        hookInTx(core))
+    // transaction (Sec. III-B1 capacity rule). Lazy mode tracks the
+    // conventional read/write sets in signatures, so residency is not
+    // required for those — but U-state (labeled) conflicts are
+    // detected eagerly in BOTH modes (docs/ARCHITECTURE.md Sec. 6),
+    // and that detection lives in the L1 entry's spec bits: evicting a
+    // spec U line would let a reduction merge this transaction's copy
+    // away without a battle, and the commit would then re-apply its
+    // buffered absolute bytes onto a fresh identity copy, minting
+    // value out of thin air (caught by the GridClaim fuzz wall under
+    // lazy + tiny caches).
+    if (victim.spec() && hookInTx(core) &&
+        (cfg_.conflictDetection == ConflictDetection::Eager ||
+         victim.state == PrivState::U))
         hookRemoteAbort(core, AbortCause::Capacity);
     if (victim.dirty) {
         if (PrivLine *e2 = findL2(core, victim.line))
@@ -485,11 +519,15 @@ MemorySystem::onEvictL1(CoreId core, PrivLine &victim)
 void
 MemorySystem::onEvictL2(CoreId core, PrivLine &victim, Cycle &lat)
 {
-    // Back-invalidate the L1 (inclusive hierarchy).
+    // Back-invalidate the L1 (inclusive hierarchy). Same capacity
+    // rule as onEvictL1: U-state spec lines abort in BOTH detection
+    // modes — the labeled conflict detection lives in the L1 entry's
+    // spec bits, and dropping them silently would reopen the
+    // token-minting hazard on this path.
     if (PrivLine *e1 = findL1(core, victim.line)) {
-        if (e1->spec() &&
-            cfg_.conflictDetection == ConflictDetection::Eager &&
-            hookInTx(core))
+        if (e1->spec() && hookInTx(core) &&
+            (cfg_.conflictDetection == ConflictDetection::Eager ||
+             e1->state == PrivState::U))
             hookRemoteAbort(core, AbortCause::Capacity);
         cores_[core]->l1.erase(victim.line);
     }

@@ -43,6 +43,17 @@ struct PrivLine {
      */
     bool specRead = false;
     bool specWrite = false;
+    /**
+     * Which Tx signature kinds this entry has reported (markSpec).
+     * One line can be in several kinds within one transaction — the
+     * conditionally-commutative fallback reads a line conventionally
+     * after labeled accesses, and the state transition (U -> M)
+     * changes what an access means — and lazy commit-time arbitration
+     * needs every kind recorded, not just the first.
+     */
+    bool notedRead = false;
+    bool notedWrite = false;
+    bool notedLabeled = false;
 
     bool spec() const { return specRead || specWrite; }
 
@@ -54,6 +65,9 @@ struct PrivLine {
         dirty = false;
         specRead = false;
         specWrite = false;
+        notedRead = false;
+        notedWrite = false;
+        notedLabeled = false;
     }
 };
 

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "lib/bounded_counter.h"
+#include "lib/comm_queue.h"
 #include "rt/machine.h"
 
 namespace commtm {
@@ -252,6 +253,171 @@ TEST(AbortPath, DeepGatherAt256Threads)
     EXPECT_EQ(counter.peek(m), 255 * kDeposit - 8);
     EXPECT_GE(m.stats().machine.gathers, 1u);
     EXPECT_GE(m.stats().machine.splits, 200u);
+}
+
+// ---------------------------------------------------------------------
+// CommQueue additions (the queue layer the intruder/labyrinth/yada
+// workloads are built on): a pinned two-core abort storm over one
+// queue, the exception-fallback budget under a non-cooperative queue
+// body, and the address-drift regression for enqueue's in-transaction
+// chunk allocation.
+// ---------------------------------------------------------------------
+
+/**
+ * Two cores hammer a baseline-HTM queue (conventional ops, shared
+ * descriptor and chunk lines): every concurrent enqueue/dequeue pair
+ * conflicts. Deterministic, so the counters pin exactly — recorded
+ * when CommQueue landed; any drift means the abort path or queue
+ * behavior changed.
+ */
+StormResult
+runQueueStorm(ConflictDetection detection)
+{
+    MachineConfig c;
+    c.numCores = 2;
+    c.mode = SystemMode::BaselineHtm;
+    c.conflictDetection = detection;
+    Machine m(c);
+    const Label label = CommQueue::defineLabel(m);
+    CommQueue queue(m, label, /* baseline_layout */ true);
+    constexpr int kOpsPerThread = 150;
+    std::vector<uint64_t> dequeued(2, 0);
+    for (int t = 0; t < 2; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            for (int i = 0; i < kOpsPerThread; i++) {
+                if (i % 2 == 0) {
+                    queue.enqueue(ctx, uint64_t(t) << 32 | i);
+                } else {
+                    uint64_t out;
+                    if (queue.dequeue(ctx, &out))
+                        dequeued[t]++;
+                }
+            }
+        });
+    }
+    m.run();
+    const ThreadStats agg = m.stats().aggregateThreads();
+    StormResult r;
+    r.commits = agg.txCommitted;
+    r.aborts = agg.txAborted;
+    r.finalValue =
+        int64_t(queue.peekSize(m)) + dequeued[0] + dequeued[1];
+    r.cycles = m.stats().runtimeCycles();
+    return r;
+}
+
+TEST(AbortPath, EagerQueueStormCountersArePinned)
+{
+    const StormResult r = runQueueStorm(ConflictDetection::Eager);
+    EXPECT_EQ(r.commits, 300u);
+    EXPECT_EQ(r.finalValue, 150); // enqueues = dequeues + leftover
+    EXPECT_EQ(r.aborts, 209u);
+    EXPECT_EQ(r.cycles, 41017u);
+}
+
+TEST(AbortPath, LazyQueueStormCountersArePinned)
+{
+    const StormResult r = runQueueStorm(ConflictDetection::Lazy);
+    EXPECT_EQ(r.commits, 300u);
+    EXPECT_EQ(r.finalValue, 150);
+    EXPECT_EQ(r.aborts, 70u);
+    EXPECT_EQ(r.cycles, 24628u);
+}
+
+TEST(AbortPath, NonCooperativeQueueBodyHitsTheExceptionFallback)
+{
+    // A workload body that keeps issuing queue operations after its
+    // abort (never checking txAborted) must be force-unwound by the
+    // no-op budget: every nested dequeue body observes the zeroed
+    // sentinel, returns false, and the loop would spin forever.
+    MachineConfig c;
+    c.numCores = 1;
+    c.mode = SystemMode::CommTm;
+    Machine m(c);
+    const Label label = CommQueue::defineLabel(m);
+    CommQueue queue(m, label);
+    int attempts = 0;
+    m.addThread([&](ThreadContext &ctx) {
+        queue.enqueue(ctx, 41);
+        ctx.txRun([&] {
+            attempts++;
+            if (attempts == 1) {
+                ctx.txAbort();
+                uint64_t out;
+                for (;;)
+                    queue.dequeue(ctx, &out);
+            }
+            queue.enqueue(ctx, 43);
+        });
+    });
+    m.run();
+    EXPECT_EQ(attempts, 2);
+    EXPECT_EQ(queue.peekSize(m), 2u);
+    const ThreadStats agg = m.stats().aggregateThreads();
+    EXPECT_GE(agg.txAborted, 1u);
+}
+
+/**
+ * Address-drift regression (the TopK hazard of ARCHITECTURE.md 4.1,
+ * here for CommQueue): an aborted enqueue attempt reads the zeroed
+ * tail sentinel, which looks like an empty queue; without the
+ * txAborted() check it would host-allocate a fresh chunk inside every
+ * doomed attempt — even mid-chunk, where no allocation is ever legal
+ * — drifting all later allocations. With the check, a doomed
+ * mid-chunk attempt allocates nothing, so this run must allocate
+ * exactly one chunk. (A doom landing after the check, during a
+ * boundary attempt's chunk-initialization writes, can still orphan
+ * that one chunk; the doom here is timed to latch before the nested
+ * enqueue's reads, the sentinel path this test pins.)
+ */
+TEST(AbortPath, AbortedCommQueueEnqueueDoesNotHostAllocate)
+{
+    MachineConfig c;
+    c.numCores = 2;
+    c.mode = SystemMode::CommTm;
+    c.backoffBase = 0;
+    Machine m(c);
+    const Label label = CommQueue::defineLabel(m);
+    CommQueue queue(m, label);
+    const Addr conflict = m.allocator().allocLines(1);
+    const Addr before = m.allocator().watermark();
+    static_assert(CommQueue::kChunkCap >= 2, "both values fit one chunk");
+    int attempts = 0;
+    m.addThread([&](ThreadContext &ctx) {
+        // The first enqueue legitimately allocates the only chunk.
+        queue.enqueue(ctx, 1);
+        // The second runs flat-nested in a transaction that is doomed
+        // mid-flight (runOneAbort's shape): the victim joins the
+        // conflict line's read set, stalls long enough for thread 1's
+        // plain store to arrive, and by the time the nested enqueue
+        // issues its labeled tail read the pending abort is latched —
+        // the read returns the zeroed sentinel, and tail == 0 must NOT
+        // be taken for an empty queue (that is the drift hazard).
+        ctx.txRun([&] {
+            attempts++;
+            (void)ctx.read<int64_t>(conflict);
+            if (attempts == 1) {
+                for (int i = 0; i < 100; i++)
+                    ctx.compute(10);
+            }
+            queue.enqueue(ctx, 2);
+        });
+    });
+    m.addThread([&](ThreadContext &ctx) {
+        // Lands mid-way through the victim's first-attempt compute
+        // window (which spans ~1000 cycles after its setup enqueue).
+        ctx.compute(500);
+        ctx.write<int64_t>(conflict, 99); // plain store; dooms thread 0
+    });
+    m.run();
+    EXPECT_EQ(attempts, 2);
+    // Exactly one chunk may ever be allocated: the aborted attempt's
+    // nested enqueue saw the sentinel and must not have allocated, and
+    // the retry appended to the existing chunk.
+    EXPECT_EQ(m.allocator().watermark() - before, Addr(kLineSize))
+        << "an aborted enqueue attempt host-allocated a chunk";
+    EXPECT_EQ(queue.peekSize(m), 2u);
+    EXPECT_EQ(m.stats().aggregateThreads().txAborted, 1u);
 }
 
 } // namespace

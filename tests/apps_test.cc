@@ -9,9 +9,12 @@
 
 #include "apps/boruvka.h"
 #include "apps/genome.h"
+#include "apps/intruder.h"
 #include "apps/kmeans.h"
+#include "apps/labyrinth.h"
 #include "apps/ssca2.h"
 #include "apps/vacation.h"
+#include "apps/yada.h"
 
 namespace commtm {
 namespace {
@@ -103,6 +106,47 @@ TEST_P(Apps, VacationConservesInventory)
                            << " finalFree=" << r.finalFree
                            << " initialFree=" << r.initialFree;
     EXPECT_GT(r.reservationsMade, 0);
+}
+
+TEST_P(Apps, IntruderDetectsEveryAttack)
+{
+    IntruderConfig cfg;
+    cfg.numFlows = 96;
+    const IntruderResult r = runIntruder(machineCfg(), threads(), cfg);
+    EXPECT_TRUE(r.valid())
+        << "processed=" << r.fragmentsProcessed << "/"
+        << r.fragmentsSent << " flows=" << r.flowsCompleted << "/"
+        << r.expectedFlows << " attacks=" << r.attacksDetected << "/"
+        << r.expectedAttacks << " leftover=" << r.queueLeftover;
+    EXPECT_GT(r.expectedAttacks, 0);
+}
+
+TEST_P(Apps, LabyrinthRoutesWithoutOverlap)
+{
+    LabyrinthConfig cfg;
+    cfg.width = 16;
+    cfg.height = 16;
+    cfg.numPaths = 48;
+    const LabyrinthResult r = runLabyrinth(machineCfg(), threads(), cfg);
+    EXPECT_TRUE(r.valid())
+        << "routed=" << r.pathsRouted << " failed=" << r.pathsFailed
+        << " cells=" << r.cellsClaimed << " tokens="
+        << r.tokensConsumed << " overlapFree=" << r.overlapFree;
+    EXPECT_GT(r.pathsRouted, 0u);
+}
+
+TEST_P(Apps, YadaRefinesTheWholeForest)
+{
+    YadaConfig cfg;
+    cfg.initialBad = 24;
+    cfg.maxDepth = 4;
+    const YadaResult r = runYada(machineCfg(), threads(), cfg);
+    EXPECT_TRUE(r.valid())
+        << "processed=" << r.elementsProcessed << "/"
+        << r.expectedElements << " counter=" << r.processedCounter
+        << " minQ=" << r.minQuality << "/" << r.expectedMinQuality
+        << " dups=" << r.duplicates << " leftover=" << r.queueLeftover;
+    EXPECT_GT(r.expectedElements, cfg.initialBad);
 }
 
 INSTANTIATE_TEST_SUITE_P(

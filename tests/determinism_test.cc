@@ -13,7 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/intruder.h"
+#include "apps/labyrinth.h"
 #include "apps/micro.h"
+#include "apps/yada.h"
 #include "sim/stats.h"
 
 namespace commtm {
@@ -148,6 +151,101 @@ TEST(Determinism, GatherHeavy256ThreadListIsSeedDeterministic)
     ASSERT_TRUE(a.valid);
     ASSERT_TRUE(b.valid);
     expectEqualSnapshots(a.stats, b.stats);
+}
+
+// ---------------------------------------------------------------------
+// The CommQueue/GridClaim workloads (intruder, labyrinth, yada) add
+// whole-chunk splitters, per-byte grid reductions, and worklist-driven
+// control flow whose termination depends on simulated timing. Same
+// property as above, at 128 threads (Table I machine) and at 256
+// threads (scaled geometry + spilled sharer set).
+// ---------------------------------------------------------------------
+
+template <typename Run>
+void
+expectSameSeedBitIdentical(const Run &run)
+{
+    const StatsSnapshot a = run();
+    const StatsSnapshot b = run();
+    expectEqualSnapshots(a, b);
+}
+
+TEST(Determinism, Intruder128ThreadIsSeedDeterministic)
+{
+    expectSameSeedBitIdentical([] {
+        MachineConfig cfg;
+        cfg.mode = SystemMode::CommTm;
+        IntruderConfig app;
+        app.numFlows = 128;
+        const IntruderResult r = runIntruder(cfg, 128, app);
+        EXPECT_TRUE(r.valid());
+        return r.stats;
+    });
+}
+
+TEST(Determinism, Intruder256ThreadIsSeedDeterministic)
+{
+    expectSameSeedBitIdentical([] {
+        MachineConfig cfg = MachineConfig::forCores(256);
+        cfg.mode = SystemMode::CommTm;
+        IntruderConfig app;
+        app.numFlows = 192;
+        const IntruderResult r = runIntruder(cfg, 256, app);
+        EXPECT_TRUE(r.valid());
+        return r.stats;
+    });
+}
+
+TEST(Determinism, Labyrinth128ThreadIsSeedDeterministic)
+{
+    expectSameSeedBitIdentical([] {
+        MachineConfig cfg;
+        cfg.mode = SystemMode::CommTm;
+        LabyrinthConfig app;
+        app.numPaths = 160;
+        const LabyrinthResult r = runLabyrinth(cfg, 128, app);
+        EXPECT_TRUE(r.valid());
+        return r.stats;
+    });
+}
+
+TEST(Determinism, Labyrinth256ThreadIsSeedDeterministic)
+{
+    expectSameSeedBitIdentical([] {
+        MachineConfig cfg = MachineConfig::forCores(256);
+        cfg.mode = SystemMode::CommTm;
+        LabyrinthConfig app;
+        app.numPaths = 256;
+        const LabyrinthResult r = runLabyrinth(cfg, 256, app);
+        EXPECT_TRUE(r.valid());
+        return r.stats;
+    });
+}
+
+TEST(Determinism, Yada128ThreadIsSeedDeterministic)
+{
+    expectSameSeedBitIdentical([] {
+        MachineConfig cfg;
+        cfg.mode = SystemMode::CommTm;
+        YadaConfig app;
+        app.initialBad = 48;
+        const YadaResult r = runYada(cfg, 128, app);
+        EXPECT_TRUE(r.valid());
+        return r.stats;
+    });
+}
+
+TEST(Determinism, Yada256ThreadIsSeedDeterministic)
+{
+    expectSameSeedBitIdentical([] {
+        MachineConfig cfg = MachineConfig::forCores(256);
+        cfg.mode = SystemMode::CommTm;
+        YadaConfig app;
+        app.initialBad = 64;
+        const YadaResult r = runYada(cfg, 256, app);
+        EXPECT_TRUE(r.valid());
+        return r.stats;
+    });
 }
 
 } // namespace

@@ -12,7 +12,9 @@
 #include <set>
 
 #include "lib/bounded_counter.h"
+#include "lib/comm_queue.h"
 #include "lib/counter.h"
+#include "lib/grid_claim.h"
 #include "lib/linked_list.h"
 #include "lib/ordered_put.h"
 #include "lib/topk.h"
@@ -185,6 +187,141 @@ TEST_P(LibModes, ListDrainsToEmpty)
     }
     m.run();
     EXPECT_EQ(list.peekSize(m), 0u);
+}
+
+TEST_P(LibModes, CommQueuePreservesMultiset)
+{
+    Machine m(cfg());
+    const Label label = CommQueue::defineLabel(m);
+    CommQueue queue(m, label, GetParam() == SystemMode::BaselineHtm);
+    std::vector<std::vector<uint64_t>> enqueued(8), dequeued(8);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < 80; i++) {
+                const uint64_t v = (uint64_t(t) << 32) | uint64_t(i);
+                if (rng.chance(0.7)) {
+                    queue.enqueue(ctx, v);
+                    enqueued[t].push_back(v);
+                } else {
+                    uint64_t out;
+                    if (queue.dequeue(ctx, &out))
+                        dequeued[t].push_back(out);
+                }
+            }
+        });
+    }
+    m.run();
+    std::multiset<uint64_t> expected;
+    for (const auto &ops : enqueued)
+        expected.insert(ops.begin(), ops.end());
+    for (const auto &ops : dequeued) {
+        for (uint64_t v : ops) {
+            auto it = expected.find(v);
+            ASSERT_NE(it, expected.end())
+                << "dequeued a value never enqueued (or twice)";
+            expected.erase(it);
+        }
+    }
+    std::vector<uint64_t> got = queue.peekAll(m);
+    std::multiset<uint64_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, expected);
+}
+
+TEST_P(LibModes, CommQueueDrainsToEmpty)
+{
+    Machine m(cfg(4));
+    const Label label = CommQueue::defineLabel(m);
+    CommQueue queue(m, label, GetParam() == SystemMode::BaselineHtm);
+    std::vector<uint64_t> drained(4, 0);
+    for (int t = 0; t < 4; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            // More than kChunkCap elements per thread, so every
+            // partial list spans chunk boundaries.
+            for (int i = 0; i < 25; i++)
+                queue.enqueue(ctx, uint64_t(t) * 100 + i);
+            ctx.barrier();
+            uint64_t out;
+            while (queue.dequeue(ctx, &out))
+                drained[t]++;
+        });
+    }
+    m.run();
+    EXPECT_EQ(queue.peekSize(m), 0u);
+    uint64_t total = 0;
+    for (auto d : drained)
+        total += d;
+    EXPECT_EQ(total, 100u);
+}
+
+TEST_P(LibModes, GridClaimConservesTokens)
+{
+    Machine m(cfg());
+    const Label label = GridClaim::defineLabel(m);
+    GridClaim grid(m, label, 16, 16); // capacity 1: exclusive cells
+    std::vector<std::vector<uint32_t>> held(8);
+    for (int t = 0; t < 8; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            Rng &rng = ctx.rng();
+            for (int i = 0; i < 120; i++) {
+                if (!held[t].empty() && rng.chance(0.4)) {
+                    const size_t pick = rng.below(held[t].size());
+                    grid.release(ctx, held[t][pick]);
+                    held[t][pick] = held[t].back();
+                    held[t].pop_back();
+                } else {
+                    const auto cell =
+                        uint32_t(rng.below(grid.numCells()));
+                    if (grid.claim(ctx, cell))
+                        held[t].push_back(cell);
+                }
+            }
+        });
+    }
+    m.run();
+    uint64_t held_total = 0;
+    for (const auto &h : held)
+        held_total += h.size();
+    EXPECT_EQ(grid.peekTokens(m), grid.numCells() - held_total);
+}
+
+TEST_P(LibModes, GridClaimPathIsAllOrNothing)
+{
+    Machine m(cfg(4));
+    const Label label = GridClaim::defineLabel(m);
+    GridClaim grid(m, label, 8, 8);
+    // Four threads race for overlapping 8-cell rows; every row pair
+    // shares its middle cell, so at most non-overlapping claims win.
+    std::vector<std::vector<uint32_t>> paths = {
+        {0, 1, 2, 3, 4, 5, 6, 7},
+        {4, 12, 20, 28, 36, 44, 52, 60},
+        {56, 57, 58, 59, 60, 61, 62, 63},
+        {3, 11, 19, 27, 35, 43, 51, 59},
+    };
+    std::vector<int> won(4, 0);
+    for (int t = 0; t < 4; t++) {
+        m.addThread([&, t](ThreadContext &ctx) {
+            if (grid.claimPath(ctx, paths[t]))
+                won[t] = 1;
+        });
+    }
+    m.run();
+    uint64_t claimed = 0;
+    std::set<uint32_t> claimed_cells;
+    for (int t = 0; t < 4; t++) {
+        if (!won[t])
+            continue;
+        claimed += paths[t].size();
+        for (uint32_t c : paths[t])
+            EXPECT_TRUE(claimed_cells.insert(c).second)
+                << "cell " << c << " claimed by two winners";
+    }
+    // Token conservation: failed claims must have compensated fully.
+    EXPECT_EQ(grid.peekTokens(m), grid.numCells() - claimed);
+    for (uint32_t c = 0; c < grid.numCells(); c++) {
+        const uint8_t v = grid.peekCell(m, c);
+        EXPECT_EQ(v, claimed_cells.count(c) ? 0 : 1) << "cell " << c;
+    }
 }
 
 TEST_P(LibModes, OrderedPutKeepsMinimum)
