@@ -143,6 +143,8 @@ runIntruder(const MachineConfig &machine_cfg, uint32_t threads,
     }
     result.attacksDetected = attacks.peek(m);
     result.queueLeftover = queue.peekSize(m);
+    if (m.commitLog())
+        result.commitLog = m.commitLog()->serialize();
     return result;
 }
 

@@ -12,6 +12,8 @@
 #ifndef COMMTM_APPS_INTRUDER_H
 #define COMMTM_APPS_INTRUDER_H
 
+#include <vector>
+
 #include "sim/config.h"
 #include "sim/stats.h"
 
@@ -35,6 +37,9 @@ struct IntruderResult {
     int64_t attacksFlagged = 0;   //!< host tally of detection hits
     int64_t expectedAttacks = 0;  //!< host-side reference
     uint64_t queueLeftover = 0;   //!< fragments left enqueued (must be 0)
+    /** Serialized commit log (empty unless recording was enabled);
+     *  determinism tests diff it across same-seed runs. */
+    std::vector<uint8_t> commitLog;
 
     bool
     valid() const

@@ -165,6 +165,8 @@ runLabyrinth(const MachineConfig &machine_cfg, uint32_t threads,
     result.tokensConsumed =
         uint64_t(grid.numCells()) * grid.capacity() -
         grid.peekTokens(m);
+    if (m.commitLog())
+        result.commitLog = m.commitLog()->serialize();
     return result;
 }
 

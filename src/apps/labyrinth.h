@@ -12,6 +12,8 @@
 #ifndef COMMTM_APPS_LABYRINTH_H
 #define COMMTM_APPS_LABYRINTH_H
 
+#include <vector>
+
 #include "sim/config.h"
 #include "sim/stats.h"
 
@@ -37,6 +39,9 @@ struct LabyrinthResult {
     uint64_t tokensConsumed = 0; //!< initial - final grid tokens
     bool overlapFree = true;     //!< no cell claimed by two routes
     uint64_t numPathsTotal = 0;
+    /** Serialized commit log (empty unless recording was enabled);
+     *  determinism tests diff it across same-seed runs. */
+    std::vector<uint8_t> commitLog;
 
     bool
     valid() const

@@ -177,6 +177,8 @@ runYada(const MachineConfig &machine_cfg, uint32_t threads,
     std::memcpy(&result.minQuality, min_line.data(),
                 sizeof(result.minQuality));
     result.queueLeftover = worklist.peekSize(m);
+    if (m.commitLog())
+        result.commitLog = m.commitLog()->serialize();
     return result;
 }
 

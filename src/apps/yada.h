@@ -13,6 +13,8 @@
 #ifndef COMMTM_APPS_YADA_H
 #define COMMTM_APPS_YADA_H
 
+#include <vector>
+
 #include "sim/config.h"
 #include "sim/stats.h"
 
@@ -35,6 +37,9 @@ struct YadaResult {
     int64_t expectedMinQuality = 0;
     uint64_t duplicates = 0;        //!< elements seen already refined
     uint64_t queueLeftover = 0;
+    /** Serialized commit log (empty unless recording was enabled);
+     *  determinism tests diff it across same-seed runs. */
+    std::vector<uint8_t> commitLog;
 
     bool
     valid() const

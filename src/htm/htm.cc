@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/commit_log.h"
+
 namespace commtm {
 
 HtmManager::HtmManager(const MachineConfig &cfg, MemorySystem &mem,
@@ -107,7 +109,7 @@ HtmManager::lazyArbitrate(CoreId committer)
 }
 
 Cycle
-HtmManager::commit(CoreId core)
+HtmManager::commit(CoreId core, Cycle now)
 {
     Tx &tx = txs_[core];
     assert(tx.active);
@@ -137,6 +139,11 @@ HtmManager::commit(CoreId core)
     // to lines this core holds in U commit into the core's reducible
     // copy; everything else commits into simulated memory (Fig. 5).
     tx.wb.forEach([&](Addr line, const WriteBuffer::Entry &e) {
+        // Observation-only recording: labeled lines commit into U
+        // partials whose bytes are order-dependent; the write digest
+        // covers only the conventional write set.
+        if (log_ && !tx.labeledSet.contains(line))
+            log_->noteWriteLine(core, line, e.mask, e.data.data());
         if (mem_.coreHasU(core, line)) {
             LineData &copy = mem_.uCopy(core, line);
             for (size_t i = 0; i < kLineSize; i++) {
@@ -155,6 +162,10 @@ HtmManager::commit(CoreId core)
     tx.wb.clear();
     releaseSpecSets(tx, core);
     tx.active = false;
+    // Seal inside commit: this function runs atomically in simulated
+    // time, so the sealed order is the functional commit order.
+    if (log_)
+        log_->sealCommit(core, now);
     return publish_latency;
 }
 
@@ -164,6 +175,8 @@ HtmManager::abortAttempt(CoreId core, AbortCause cause, Rng &rng)
     (void)cause;
     Tx &tx = txs_[core];
     assert(tx.active);
+    if (log_)
+        log_->abortAttempt(core); // discard the attempt's digests
     tx.wb.clear();
     releaseSpecSets(tx, core);
     tx.active = false;

@@ -22,6 +22,8 @@
 
 namespace commtm {
 
+class CommitLog;
+
 /**
  * Per-machine transaction manager. One transaction context per core
  * (the paper's HTM is single-transaction-per-hardware-thread).
@@ -59,10 +61,15 @@ class HtmManager final : public HtmHooks
      * buffered writes are made public with non-speculative stores.
      * Both walks visit lines in ascending address order, so victim
      * order and publication order are platform-independent.
+     *
+     * Commit is atomic in simulated time (no yields), so when a
+     * CommitLog is attached the record sealed here lands in exact
+     * functional commit order. @p now (the committer's cycle) is
+     * recorded as the commit cycle; it never affects behavior.
      * @return extra commit latency (lazy write publication); 0 in
      *         eager mode, where the writes already own their lines.
      */
-    Cycle commit(CoreId core);
+    Cycle commit(CoreId core, Cycle now = 0);
 
     /**
      * Locally abort the current attempt: discard the write buffer,
@@ -88,6 +95,12 @@ class HtmManager final : public HtmHooks
     uint32_t attempts(CoreId core) const { return txs_[core].attempts; }
 
     WriteBuffer &writeBuffer(CoreId core) { return txs_[core].wb; }
+
+    /** Attach the machine's commit log (nullptr = recording off).
+     *  Observation-only: commit() additionally folds the committed
+     *  conventional write-buffer lines into the log and seals the
+     *  record. */
+    void setCommitLog(CommitLog *log) { log_ = log; }
 
     // --- HtmHooks (called by the coherence protocol) ---
     // Inline and final: MemorySystem's direct-dispatch path relies on
@@ -162,6 +175,7 @@ class HtmManager final : public HtmHooks
     const MachineConfig &cfg_;
     MemorySystem &mem_;
     SimMemory &memory_;
+    CommitLog *log_ = nullptr;
     std::vector<Tx> txs_;
     Timestamp nextTs_ = 1;
 };

@@ -26,6 +26,13 @@ Machine::Machine(MachineConfig cfg)
     mem_ = std::make_unique<MemorySystem>(cfg_, memory_, labels_,
                                           machineStats_, rng_);
     htm_ = std::make_unique<HtmManager>(cfg_, *mem_, memory_);
+    // COMMTM_RECORD_COMMITS forces observation-only commit recording
+    // on for any run (the CI oracle legs use it to prove the baseline
+    // wall is bit-identical with the log enabled).
+    if (cfg_.recordCommits || std::getenv("COMMTM_RECORD_COMMITS")) {
+        commitLog_ = std::make_unique<CommitLog>(cfg_.numCores);
+        htm_->setCommitLog(commitLog_.get());
+    }
 }
 
 Machine::~Machine() = default;

@@ -22,6 +22,7 @@
 #include "commtm/label.h"
 #include "htm/htm.h"
 #include "mem/coherence.h"
+#include "sim/commit_log.h"
 #include "sim/config.h"
 #include "sim/fiber.h"
 #include "sim/memory.h"
@@ -135,6 +136,11 @@ class ThreadContext
     void functionalRead(Addr addr, void *out, size_t size, bool labeled);
     void functionalWrite(Addr addr, const void *src, size_t size,
                          bool labeled);
+    /** Observation-only: fold a labeled op that stayed labeled into
+     *  the commit log's pending digests (no-op when recording is off
+     *  or outside a transaction). */
+    void noteLabeledOp(CommitOpKind kind, Addr addr, Label label,
+                       const void *operand, uint32_t size);
 
     Machine &machine_;
     CoreId core_;
@@ -195,6 +201,11 @@ class Machine
     HtmManager &htm() { return *htm_; }
     Rng &rng() { return rng_; }
 
+    /** The commit log, or nullptr when recording is off (see
+     *  MachineConfig::recordCommits and COMMTM_RECORD_COMMITS). */
+    CommitLog *commitLog() { return commitLog_.get(); }
+    const CommitLog *commitLog() const { return commitLog_.get(); }
+
     using ThreadFn = std::function<void(ThreadContext &)>;
 
     /** Add a simulated thread; it runs when run() is called. Threads
@@ -232,6 +243,7 @@ class Machine
     SimMemory memory_;
     SimAllocator alloc_;
     MachineStats machineStats_;
+    std::unique_ptr<CommitLog> commitLog_;
     std::unique_ptr<MemorySystem> mem_;
     std::unique_ptr<HtmManager> htm_;
 
@@ -412,6 +424,16 @@ ThreadContext::functionalWrite(Addr addr, const void *src, size_t size,
 }
 
 inline void
+ThreadContext::noteLabeledOp(CommitOpKind kind, Addr addr, Label label,
+                             const void *operand, uint32_t size)
+{
+    if (inTx_ && machine_.commitLog_) {
+        machine_.commitLog_->noteLabeledOp(core_, kind, addr, label,
+                                           operand, size);
+    }
+}
+
+inline void
 ThreadContext::readBytes(Addr addr, void *out, size_t size)
 {
     auto *dst = static_cast<uint8_t *>(out);
@@ -485,6 +507,10 @@ ThreadContext::readLabeled(Addr addr, Label label)
         return T{};
     T value;
     functionalRead(addr, &value, sizeof(T), op == MemOp::LabeledLoad);
+    if (op == MemOp::LabeledLoad) {
+        noteLabeledOp(CommitOpKind::LabeledLoad, addr, label, nullptr,
+                      sizeof(T));
+    }
     return value;
 }
 
@@ -498,6 +524,10 @@ ThreadContext::writeLabeled(Addr addr, Label label, const T &value)
     if (txAbortPending_)
         return;
     functionalWrite(addr, &value, sizeof(T), op == MemOp::LabeledStore);
+    if (op == MemOp::LabeledStore) {
+        noteLabeledOp(CommitOpKind::LabeledStore, addr, label, &value,
+                      sizeof(T));
+    }
 }
 
 template <typename T>
@@ -511,6 +541,10 @@ ThreadContext::readGather(Addr addr, Label label)
         return T{};
     T value;
     functionalRead(addr, &value, sizeof(T), op == MemOp::Gather);
+    if (op == MemOp::Gather) {
+        noteLabeledOp(CommitOpKind::Gather, addr, label, nullptr,
+                      sizeof(T));
+    }
     return value;
 }
 
@@ -553,7 +587,8 @@ ThreadContext::txRun(Body &&body)
             checkDoomed();
         }
         if (!txAbortPending_) {
-            advance(htm.commit(core_)); // lazy write publication
+            // Commit (and seal the commit-log record, if recording).
+            advance(htm.commit(core_, nextCycle_));
             stats.txCommitted++;
             stats.txCommittedCycles += txAcc_;
             txAcc_ = 0;

@@ -95,6 +95,12 @@ struct MachineConfig {
     Cycle txBeginCost = 4;           //!< tx_begin/tx_end instruction cost
     Cycle txCommitCost = 4;
     Cycle abortCost = 12;            //!< pipeline flush + register restore
+    /** Record every commit into Machine's CommitLog (sim/commit_log.h,
+     *  docs/ARCHITECTURE.md Sec. 9). Strictly observation-only: the
+     *  baseline wall runs bit-identical with it on. Also forced on by
+     *  the COMMTM_RECORD_COMMITS environment variable (CI oracle
+     *  legs). */
+    bool recordCommits = false;
 
     // CommTM.
     SystemMode mode = SystemMode::CommTm;

@@ -1,28 +1,53 @@
 /**
  * @file
- * Randomized fuzzing of the CommQueue and GridClaim library layer
- * against sequential reference models, in the style of
- * protocol_fuzz_test: tiny caches for maximal eviction pressure,
- * seed-randomized core counts on both sides of the 128-sharer
- * inline/spill boundary, and both conflict-detection schemes. The
- * functional commit order equals host execution order (the simulator
- * is sequential and each op/model-update pair runs without a fiber
- * switch between them), so the models track committed state exactly.
+ * Randomized fuzzing of the CommQueue and GridClaim library layer,
+ * in the style of protocol_fuzz_test: tiny caches for maximal
+ * eviction pressure, seed-randomized core counts on both sides of
+ * the 128-sharer inline/spill boundary, and both conflict-detection
+ * schemes.
+ *
+ * Checking goes through the replay oracle (docs/ARCHITECTURE.md
+ * Sec. 9) and the extracted software models (tests/models/): every
+ * structure call records one ModelOp against the transaction that
+ * committed it, and the recorded commit order is re-executed
+ * serially at the end. Because a committed transaction's reads are
+ * valid as of its commit under both eager and lazy detection, serial
+ * replay is exact in both modes — strictly stronger than the old
+ * inline host-order ledgers, which had to relax per-op checks under
+ * lazy (txRun's post-commit latency advance yields, so another
+ * thread could commit between our commit and our return).
+ * COMMTM_FUZZ_SEED_OFFSET shifts every seed (CI oracle leg).
  */
 
 #include <gtest/gtest.h>
 
-#include <set>
+#include <algorithm>
+#include <cstdlib>
 
 #include "lib/comm_queue.h"
 #include "lib/grid_claim.h"
+#include "models/comm_queue_model.h"
+#include "models/grid_claim_model.h"
 #include "rt/machine.h"
+#include "sim/replay_oracle.h"
 
 namespace commtm {
 namespace {
 
+/** CI seed randomization: shifts every fuzz seed, 0 by default. */
+uint64_t
+fuzzSeedOffset()
+{
+    static const uint64_t offset = [] {
+        const char *s = std::getenv("COMMTM_FUZZ_SEED_OFFSET");
+        return s ? std::strtoull(s, nullptr, 10) : 0ull;
+    }();
+    return offset;
+}
+
 /** Tiny-cache machine (see protocol_fuzz_test): geometry from
- *  forCores so >128-core seeds also run the scaled mesh. */
+ *  forCores so >128-core seeds also run the scaled mesh. Commit
+ *  recording is on for every fuzz machine (observation-only). */
 MachineConfig
 fuzzConfig(uint64_t seed, uint32_t cores, ConflictDetection detection)
 {
@@ -34,6 +59,7 @@ fuzzConfig(uint64_t seed, uint32_t cores, ConflictDetection detection)
     c.l2SizeKB = 2;  // 4 sets x 8 ways
     c.l3SizeKB = 32; // 32 sets x 16 ways
     c.seed = seed;
+    c.recordCommits = true;
     return c;
 }
 
@@ -58,7 +84,11 @@ class CommQueueFuzz
     : public ::testing::TestWithParam<std::tuple<uint64_t, int>>
 {
   protected:
-    uint64_t seed() const { return std::get<0>(GetParam()); }
+    uint64_t
+    seed() const
+    {
+        return std::get<0>(GetParam()) + fuzzSeedOffset();
+    }
     ConflictDetection
     detection() const
     {
@@ -74,9 +104,12 @@ TEST_P(CommQueueFuzz, QueueMatchesMultisetReference)
     const Label label = CommQueue::defineLabel(m);
     CommQueue queue(m, label);
 
-    // Unique values (thread << 32 | i) make multiset bookkeeping an
-    // exact set check: every dequeued value was enqueued exactly once.
-    std::vector<std::vector<uint64_t>> enqueued(kCores), dequeued(kCores);
+    ReplayOracle oracle(m);
+    const uint32_t qm = oracle.addModel(
+        std::make_unique<CommQueueModel>(&queue));
+
+    // Unique values (thread << 32 | i) make the model multiset an
+    // exact check: every dequeued value was enqueued exactly once.
     for (uint32_t t = 0; t < kCores; t++) {
         m.addThread([&, t](ThreadContext &ctx) {
             Rng &rng = ctx.rng();
@@ -86,31 +119,23 @@ TEST_P(CommQueueFuzz, QueueMatchesMultisetReference)
                     const uint64_t v =
                         (uint64_t(t) << 32) | uint64_t(i);
                     queue.enqueue(ctx, v);
-                    enqueued[t].push_back(v);
+                    oracle.recordOp(ctx,
+                                    CommQueueModel::enqueue(qm, v));
                 } else {
-                    uint64_t out;
-                    if (queue.dequeue(ctx, &out))
-                        dequeued[t].push_back(out);
+                    uint64_t out = 0;
+                    const bool got = queue.dequeue(ctx, &out);
+                    oracle.recordOp(
+                        ctx, CommQueueModel::dequeue(qm, got, out));
                 }
             }
         });
     }
     m.run();
 
-    std::multiset<uint64_t> expected;
-    for (const auto &ops : enqueued)
-        expected.insert(ops.begin(), ops.end());
-    for (const auto &ops : dequeued) {
-        for (uint64_t v : ops) {
-            auto it = expected.find(v);
-            ASSERT_NE(it, expected.end())
-                << "dequeued a value never enqueued (or twice)";
-            expected.erase(it);
-        }
-    }
-    const std::vector<uint64_t> got = queue.peekAll(m);
-    const std::multiset<uint64_t> got_set(got.begin(), got.end());
-    EXPECT_EQ(got_set, expected);
+    // Serial re-execution: replay the commit order through the
+    // multiset model, then diff final states byte-for-byte.
+    std::string diag;
+    EXPECT_TRUE(oracle.replaySerial(&diag)) << diag;
     // The run must have exercised the U-state machinery.
     EXPECT_GT(m.stats().machine.reductions, 0u);
 }
@@ -128,20 +153,16 @@ TEST_P(CommQueueFuzz, GridClaimMatchesTokenReference)
     constexpr uint8_t kCapacity = 3;
     GridClaim grid(m, label, 16, 8, kCapacity);
 
-    // Reference ledger, updated in host order right after each call.
-    // Under EAGER detection, per-op results compare exactly against
-    // it: any commit that could invalidate an in-flight claim's reads
-    // dooms it at access time, so the (read .. commit .. return)
-    // window is conflict-free and the ledger at the return equals the
-    // functional state at the commit. Under LAZY detection txRun's
-    // post-commit latency advance yields, so another thread can
-    // commit AND update the ledger between our commit and our return
-    // — per-op results are then checked only for the final exact
-    // per-cell state (which is what pins conservation and caught the
-    // lazy-mode protocol bugs; see src/mem/coherence.cc markSpec /
-    // battle and htm.cc lazyArbitrate).
-    const bool exact_per_op = detection() == ConflictDetection::Eager;
-    std::vector<int> model(grid.numCells(), kCapacity);
+    ReplayOracle oracle(m);
+    const uint32_t gm = oracle.addModel(
+        std::make_unique<GridClaimModel>(&grid));
+
+    // held[] drives random releases; the exact-token ledger itself
+    // lives in GridClaimModel and is re-derived in commit order,
+    // which is exact under BOTH detection schemes (this is the wall
+    // that pinned conservation and caught the lazy-mode protocol
+    // bugs; see src/mem/coherence.cc markSpec / battle and htm.cc
+    // lazyArbitrate).
     std::vector<std::vector<uint32_t>> held(kCores);
     for (uint32_t t = 0; t < kCores; t++) {
         m.addThread([&, t](ThreadContext &ctx) {
@@ -152,22 +173,18 @@ TEST_P(CommQueueFuzz, GridClaimMatchesTokenReference)
                     const size_t pick = rng.below(held[t].size());
                     const uint32_t cell = held[t][pick];
                     grid.release(ctx, cell);
-                    model[cell]++;
+                    oracle.recordOp(ctx,
+                                    GridClaimModel::release(gm, cell));
                     held[t][pick] = held[t].back();
                     held[t].pop_back();
                 } else if (action < 75) {
                     const auto cell =
                         uint32_t(rng.below(grid.numCells()));
                     const bool got = grid.claim(ctx, cell);
-                    if (exact_per_op) {
-                        ASSERT_EQ(got, model[cell] > 0)
-                            << "claim of cell " << cell
-                            << " disagrees with the reference";
-                    }
-                    if (got) {
-                        model[cell]--;
+                    oracle.recordOp(
+                        ctx, GridClaimModel::claim(gm, cell, got));
+                    if (got)
                         held[t].push_back(cell);
-                    }
                 } else {
                     // Short multi-cell path claim, duplicate-free.
                     const auto base =
@@ -175,23 +192,11 @@ TEST_P(CommQueueFuzz, GridClaimMatchesTokenReference)
                     const std::vector<uint32_t> cells = {
                         base, base + 1, base + 2};
                     const bool got = grid.claimPath(ctx, cells);
-                    // Evaluate the reference AFTER the call: other
-                    // threads commit claims during it, and functional
-                    // commit order is host execution order, so the
-                    // ledger is consistent exactly at the return.
-                    const bool all_free = model[cells[0]] > 0 &&
-                                          model[cells[1]] > 0 &&
-                                          model[cells[2]] > 0;
-                    if (exact_per_op) {
-                        ASSERT_EQ(got, all_free)
-                            << "claimPath at " << base
-                            << " disagrees with the reference";
-                    }
+                    oracle.recordOp(ctx, GridClaimModel::claimPath(
+                                             gm, cells, got));
                     if (got) {
-                        for (uint32_t c : cells) {
-                            model[c]--;
+                        for (uint32_t c : cells)
                             held[t].push_back(c);
-                        }
                     }
                 }
             }
@@ -199,9 +204,8 @@ TEST_P(CommQueueFuzz, GridClaimMatchesTokenReference)
     }
     m.run();
 
-    for (uint32_t c = 0; c < grid.numCells(); c++) {
-        EXPECT_EQ(grid.peekCell(m, c), model[c]) << "cell " << c;
-    }
+    std::string diag;
+    EXPECT_TRUE(oracle.replaySerial(&diag)) << diag;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -218,6 +222,74 @@ INSTANTIATE_TEST_SUITE_P(
                     ? "_eager"
                     : "_lazy");
     });
+
+/** Differential cases run eager AND lazy themselves, so they are
+ *  parameterized over seeds only. */
+class CommQueueDifferential
+    : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    uint64_t seed() const { return GetParam() + fuzzSeedOffset(); }
+};
+
+TEST_P(CommQueueDifferential, EnqueueOnlyEagerLazyAgree)
+{
+    // Enqueue-only keeps the per-core labeled-op shape stream a pure
+    // function of the thread's op sequence (chunk boundaries fall
+    // every kChunkCap enqueues on the core's private partial list),
+    // so the Shape diff is exact across detection modes; mixed
+    // enq/deq outcomes are interleaving-dependent and are covered by
+    // the serial-replay cases above instead. The end state is the
+    // multiset of all enqueued values — identical by construction,
+    // and the check proves neither mode drops or duplicates one.
+    //
+    // Table-I-sized caches, NOT the tiny fuzz caches: a U eviction
+    // forwards a core's partial list to another sharer, resetting
+    // its local tail and moving subsequent chunk boundaries — and
+    // evictions are timing-dependent, hence detection-mode-dependent.
+    // Shape comparability needs the control flow to be a pure
+    // function of the op sequence, so the descriptor must stay
+    // resident (default caches never evict this working set).
+    const uint64_t s = seed();
+    const uint32_t kCores = fuzzCores(s + 5);
+    const int kOps = fuzzOps(kCores, 96);
+
+    const auto workload = [&](const MachineConfig &cfg) {
+        Machine m(cfg);
+        const Label label = CommQueue::defineLabel(m);
+        CommQueue queue(m, label);
+        for (uint32_t t = 0; t < kCores; t++) {
+            m.addThread([&, t](ThreadContext &ctx) {
+                for (int i = 0; i < kOps; i++) {
+                    queue.enqueue(
+                        ctx, (uint64_t(t) << 32) | uint64_t(i));
+                }
+            });
+        }
+        m.run();
+        DifferentialRun out;
+        out.log = m.commitLog()->serialize();
+        std::vector<uint64_t> vals = queue.peekAll(m);
+        std::sort(vals.begin(), vals.end());
+        for (uint64_t v : vals) {
+            for (int b = 0; b < 8; b++)
+                out.endState.push_back(uint8_t(v >> (8 * b)));
+        }
+        return out;
+    };
+
+    MachineConfig base = MachineConfig::forCores(kCores);
+    base.numCores = kCores;
+    base.mode = SystemMode::CommTm;
+    base.seed = s;
+    const DifferentialResult res =
+        runDifferential(base, workload, DiffMode::Shape);
+    EXPECT_TRUE(res.ok) << res.diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommQueueDifferential,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77,
+                                           88));
 
 } // namespace
 } // namespace commtm

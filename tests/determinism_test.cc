@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "apps/intruder.h"
 #include "apps/labyrinth.h"
 #include "apps/micro.h"
@@ -247,6 +249,92 @@ TEST(Determinism, Yada256ThreadIsSeedDeterministic)
         return r.stats;
     });
 }
+
+// ---------------------------------------------------------------------
+// Oracle-enabled determinism: the same 256-thread apps with commit
+// recording on (MachineConfig::recordCommits), under eager AND lazy
+// detection. Two same-seed runs must agree bit-for-bit in every
+// counter (recording is observation-only, so these equal the
+// unrecorded runs' stats too) and in the serialized commit log — the
+// log itself is part of the machine's deterministic output, which is
+// what lets the replay oracle diff logs across runs at all.
+// ---------------------------------------------------------------------
+
+template <typename Run>
+void
+expectOracleRunBitIdentical(const Run &run)
+{
+    const auto a = run(); // pair<StatsSnapshot, serialized log>
+    const auto b = run();
+    expectEqualSnapshots(a.first, b.first);
+    EXPECT_FALSE(a.second.empty());
+    EXPECT_EQ(a.second, b.second) << "serialized commit logs differ";
+}
+
+MachineConfig
+oracleConfig256(ConflictDetection detection)
+{
+    MachineConfig cfg = MachineConfig::forCores(256);
+    cfg.mode = SystemMode::CommTm;
+    cfg.conflictDetection = detection;
+    cfg.recordCommits = true;
+    return cfg;
+}
+
+class OracleDeterminism : public ::testing::TestWithParam<int>
+{
+  protected:
+    ConflictDetection
+    detection() const
+    {
+        return ConflictDetection(GetParam());
+    }
+};
+
+TEST_P(OracleDeterminism, Intruder256ThreadWithRecordingOn)
+{
+    expectOracleRunBitIdentical([&] {
+        IntruderConfig app;
+        app.numFlows = 160;
+        const IntruderResult r =
+            runIntruder(oracleConfig256(detection()), 256, app);
+        EXPECT_TRUE(r.valid());
+        return std::make_pair(r.stats, r.commitLog);
+    });
+}
+
+TEST_P(OracleDeterminism, Labyrinth256ThreadWithRecordingOn)
+{
+    expectOracleRunBitIdentical([&] {
+        LabyrinthConfig app;
+        app.numPaths = 192;
+        const LabyrinthResult r =
+            runLabyrinth(oracleConfig256(detection()), 256, app);
+        EXPECT_TRUE(r.valid());
+        return std::make_pair(r.stats, r.commitLog);
+    });
+}
+
+TEST_P(OracleDeterminism, Yada256ThreadWithRecordingOn)
+{
+    expectOracleRunBitIdentical([&] {
+        YadaConfig app;
+        app.initialBad = 48;
+        const YadaResult r =
+            runYada(oracleConfig256(detection()), 256, app);
+        EXPECT_TRUE(r.valid());
+        return std::make_pair(r.stats, r.commitLog);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EagerAndLazy, OracleDeterminism,
+    ::testing::Values(int(ConflictDetection::Eager),
+                      int(ConflictDetection::Lazy)),
+    [](const auto &info) {
+        return info.param == int(ConflictDetection::Eager) ? "eager"
+                                                           : "lazy";
+    });
 
 } // namespace
 } // namespace commtm

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Software model of CommQueue for the replay oracle: an unordered
+ * multiset. Enqueues insert; a successful dequeue must return a value
+ * the multiset holds at that commit; a failed dequeue is only
+ * possible when the committed queue was globally empty (dequeue's
+ * full-read fallback reduces every partial list before giving up).
+ * The final state check compares the sorted committed contents
+ * byte-for-byte (unordered structure: multiset equivalence is the
+ * exact guarantee).
+ */
+
+#ifndef COMMTM_TESTS_MODELS_COMM_QUEUE_MODEL_H
+#define COMMTM_TESTS_MODELS_COMM_QUEUE_MODEL_H
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lib/comm_queue.h"
+#include "rt/machine.h"
+#include "sim/replay_oracle.h"
+
+namespace commtm {
+
+class CommQueueModel : public StructureModel
+{
+  public:
+    enum Kind : uint32_t { kEnqueue = 0, kDequeue = 1 };
+
+    explicit CommQueueModel(const CommQueue *queue) : queue_(queue) {}
+
+    static ModelOp
+    enqueue(uint32_t sid, uint64_t value)
+    {
+        return ModelOp{sid, kEnqueue, true, {value}};
+    }
+
+    static ModelOp
+    dequeue(uint32_t sid, bool got, uint64_t value)
+    {
+        return ModelOp{sid, kDequeue, got, {got ? value : 0}};
+    }
+
+    const char *name() const override { return "comm_queue"; }
+
+    bool
+    apply(const ModelOp &op, std::string *diag) override
+    {
+        switch (op.kind) {
+          case kEnqueue:
+            elems_[op.args.at(0)]++;
+            size_++;
+            return true;
+          case kDequeue:
+            if (!op.ok) {
+                if (size_ != 0) {
+                    *diag = "dequeue failed but the model holds " +
+                            std::to_string(size_) + " elements";
+                    return false;
+                }
+                return true;
+            }
+            {
+                const uint64_t v = op.args.at(0);
+                auto it = elems_.find(v);
+                if (it == elems_.end()) {
+                    *diag = "dequeued " + std::to_string(v) +
+                            ", which the model does not hold";
+                    return false;
+                }
+                if (--it->second == 0)
+                    elems_.erase(it);
+                size_--;
+            }
+            return true;
+        }
+        *diag = "unknown op kind " + std::to_string(op.kind);
+        return false;
+    }
+
+    std::vector<uint8_t>
+    snapshotMachine(Machine &machine) override
+    {
+        std::vector<uint64_t> got = queue_->peekAll(machine);
+        std::sort(got.begin(), got.end());
+        return encode(got);
+    }
+
+    std::vector<uint8_t>
+    snapshotModel() override
+    {
+        std::vector<uint64_t> vals;
+        vals.reserve(size_);
+        for (const auto &kv : elems_) {
+            for (uint64_t i = 0; i < kv.second; i++)
+                vals.push_back(kv.first);
+        }
+        return encode(vals); // std::map iterates in sorted key order
+    }
+
+  private:
+    static std::vector<uint8_t>
+    encode(const std::vector<uint64_t> &vals)
+    {
+        std::vector<uint8_t> out;
+        out.reserve(vals.size() * 8);
+        for (uint64_t v : vals) {
+            for (int i = 0; i < 8; i++)
+                out.push_back(uint8_t(v >> (8 * i)));
+        }
+        return out;
+    }
+
+    const CommQueue *queue_;
+    std::map<uint64_t, uint64_t> elems_; //!< value -> multiplicity
+    uint64_t size_ = 0;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_TESTS_MODELS_COMM_QUEUE_MODEL_H

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Software model of an array of commutative ADD counters for the
+ * replay oracle (sim/replay_oracle.h). Ops: add a delta, set (a
+ * conventional overwrite), and read (whose recorded result must
+ * match the model at the reading transaction's commit — a committed
+ * transaction's reads are valid as of its commit in both eager and
+ * lazy modes).
+ */
+
+#ifndef COMMTM_TESTS_MODELS_COUNTER_MODEL_H
+#define COMMTM_TESTS_MODELS_COUNTER_MODEL_H
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rt/machine.h"
+#include "sim/replay_oracle.h"
+
+namespace commtm {
+
+class CounterModel : public StructureModel
+{
+  public:
+    enum Kind : uint32_t { kAdd = 0, kSet = 1, kRead = 2 };
+
+    explicit CounterModel(std::vector<Addr> counters)
+        : counters_(std::move(counters)), values_(counters_.size(), 0)
+    {
+    }
+
+    static ModelOp
+    add(uint32_t sid, uint32_t index, int64_t delta)
+    {
+        return ModelOp{sid, kAdd, true, {index, uint64_t(delta)}};
+    }
+
+    static ModelOp
+    set(uint32_t sid, uint32_t index, int64_t value)
+    {
+        return ModelOp{sid, kSet, true, {index, uint64_t(value)}};
+    }
+
+    static ModelOp
+    read(uint32_t sid, uint32_t index, int64_t observed)
+    {
+        return ModelOp{sid, kRead, true, {index, uint64_t(observed)}};
+    }
+
+    const char *name() const override { return "counter"; }
+
+    bool
+    apply(const ModelOp &op, std::string *diag) override
+    {
+        const uint64_t index = op.args.at(0);
+        if (index >= values_.size()) {
+            *diag = "counter index " + std::to_string(index) +
+                    " out of range";
+            return false;
+        }
+        const int64_t arg = int64_t(op.args.at(1));
+        switch (op.kind) {
+          case kAdd:
+            values_[index] += arg;
+            return true;
+          case kSet:
+            values_[index] = arg;
+            return true;
+          case kRead:
+            if (values_[index] != arg) {
+                *diag = "read of counter " + std::to_string(index) +
+                        " returned " + std::to_string(arg) +
+                        ", model holds " +
+                        std::to_string(values_[index]);
+                return false;
+            }
+            return true;
+        }
+        *diag = "unknown op kind " + std::to_string(op.kind);
+        return false;
+    }
+
+    std::vector<uint8_t>
+    snapshotMachine(Machine &machine) override
+    {
+        std::vector<uint8_t> out;
+        for (Addr a : counters_) {
+            const LineData line =
+                machine.memSys().debugReducedValue(lineAddr(a));
+            int64_t v;
+            std::memcpy(&v, line.data() + lineOffset(a), sizeof(v));
+            appendValue(out, v);
+        }
+        return out;
+    }
+
+    std::vector<uint8_t>
+    snapshotModel() override
+    {
+        std::vector<uint8_t> out;
+        for (int64_t v : values_)
+            appendValue(out, v);
+        return out;
+    }
+
+  private:
+    static void
+    appendValue(std::vector<uint8_t> &out, int64_t v)
+    {
+        for (int i = 0; i < 8; i++)
+            out.push_back(uint8_t(uint64_t(v) >> (8 * i)));
+    }
+
+    std::vector<Addr> counters_;
+    std::vector<int64_t> values_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_TESTS_MODELS_COUNTER_MODEL_H

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Software model of GridClaim for the replay oracle: an exact
+ * per-cell token ledger. A successful claim needs a token at that
+ * commit; a failed claim is only possible when the cell's committed
+ * count was zero (claim's fallback path is a full read); a release
+ * past capacity means the protocol minted a token (exactly the class
+ * of lazy-mode bug PR 5's fuzz wall caught). Serial replay in commit
+ * order is exact under both eager and lazy detection, strictly
+ * stronger than the old host-order ledger, which had to relax
+ * per-op checks under lazy.
+ */
+
+#ifndef COMMTM_TESTS_MODELS_GRID_CLAIM_MODEL_H
+#define COMMTM_TESTS_MODELS_GRID_CLAIM_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "lib/grid_claim.h"
+#include "rt/machine.h"
+#include "sim/replay_oracle.h"
+
+namespace commtm {
+
+class GridClaimModel : public StructureModel
+{
+  public:
+    enum Kind : uint32_t { kClaim = 0, kRelease = 1, kClaimPath = 2 };
+
+    explicit GridClaimModel(const GridClaim *grid)
+        : grid_(grid), tokens_(grid->numCells(), grid->capacity())
+    {
+    }
+
+    static ModelOp
+    claim(uint32_t sid, uint32_t cell, bool got)
+    {
+        return ModelOp{sid, kClaim, got, {cell}};
+    }
+
+    static ModelOp
+    release(uint32_t sid, uint32_t cell)
+    {
+        return ModelOp{sid, kRelease, true, {cell}};
+    }
+
+    static ModelOp
+    claimPath(uint32_t sid, const std::vector<uint32_t> &cells,
+              bool got)
+    {
+        ModelOp op{sid, kClaimPath, got, {}};
+        op.args.assign(cells.begin(), cells.end());
+        return op;
+    }
+
+    const char *name() const override { return "grid_claim"; }
+
+    bool
+    apply(const ModelOp &op, std::string *diag) override
+    {
+        switch (op.kind) {
+          case kClaim:
+            return applyClaim(uint32_t(op.args.at(0)), op.ok, diag);
+          case kRelease: {
+            const auto cell = uint32_t(op.args.at(0));
+            if (!checkCell(cell, diag))
+                return false;
+            if (tokens_[cell] >= grid_->capacity()) {
+                *diag = "release of cell " + std::to_string(cell) +
+                        " would mint a token past capacity " +
+                        std::to_string(int(grid_->capacity()));
+                return false;
+            }
+            tokens_[cell]++;
+            return true;
+          }
+          case kClaimPath: {
+            bool all_free = true;
+            for (uint64_t c : op.args) {
+                if (!checkCell(uint32_t(c), diag))
+                    return false;
+                all_free = all_free && tokens_[uint32_t(c)] > 0;
+            }
+            if (op.ok != all_free) {
+                *diag = std::string("claimPath ") +
+                        (op.ok ? "succeeded" : "failed") +
+                        " but the model " +
+                        (all_free ? "has all cells free"
+                                  : "has an empty cell");
+                return false;
+            }
+            if (op.ok) {
+                for (uint64_t c : op.args)
+                    tokens_[uint32_t(c)]--;
+            }
+            return true;
+          }
+        }
+        *diag = "unknown op kind " + std::to_string(op.kind);
+        return false;
+    }
+
+    std::vector<uint8_t>
+    snapshotMachine(Machine &machine) override
+    {
+        std::vector<uint8_t> out(grid_->numCells());
+        for (uint32_t c = 0; c < grid_->numCells(); c++)
+            out[c] = grid_->peekCell(machine, c);
+        return out;
+    }
+
+    std::vector<uint8_t>
+    snapshotModel() override
+    {
+        return tokens_;
+    }
+
+  private:
+    bool
+    checkCell(uint32_t cell, std::string *diag) const
+    {
+        if (cell >= tokens_.size()) {
+            *diag = "cell " + std::to_string(cell) + " out of range";
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    applyClaim(uint32_t cell, bool got, std::string *diag)
+    {
+        if (!checkCell(cell, diag))
+            return false;
+        if (got != (tokens_[cell] > 0)) {
+            *diag = "claim of cell " + std::to_string(cell) +
+                    (got ? " succeeded" : " failed") +
+                    " but the model holds " +
+                    std::to_string(int(tokens_[cell])) + " tokens";
+            return false;
+        }
+        if (got)
+            tokens_[cell]--;
+        return true;
+    }
+
+    const GridClaim *grid_;
+    std::vector<uint8_t> tokens_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_TESTS_MODELS_GRID_CLAIM_MODEL_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Software model of OrderedPut for the replay oracle: the final pair
+ * is the minimum-key pair. The key is exact under any commit order;
+ * on key ties the surviving value depends on reduction-tree order
+ * (which is not commit order), so the model keeps the set of values
+ * put with the minimum key and checkFinal() accepts any of them —
+ * the structure's commutative-equivalence guarantee, exactly.
+ */
+
+#ifndef COMMTM_TESTS_MODELS_ORDERED_PUT_MODEL_H
+#define COMMTM_TESTS_MODELS_ORDERED_PUT_MODEL_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lib/ordered_put.h"
+#include "rt/machine.h"
+#include "sim/replay_oracle.h"
+
+namespace commtm {
+
+class OrderedPutModel : public StructureModel
+{
+  public:
+    enum Kind : uint32_t { kPut = 0 };
+
+    explicit OrderedPutModel(const OrderedPut *cell) : cell_(cell) {}
+
+    static ModelOp
+    put(uint32_t sid, int64_t key, uint64_t value)
+    {
+        return ModelOp{sid, kPut, true, {uint64_t(key), value}};
+    }
+
+    const char *name() const override { return "ordered_put"; }
+
+    bool
+    apply(const ModelOp &op, std::string *diag) override
+    {
+        if (op.kind != kPut) {
+            *diag = "unknown op kind " + std::to_string(op.kind);
+            return false;
+        }
+        const int64_t key = int64_t(op.args.at(0));
+        const uint64_t value = op.args.at(1);
+        if (key < minKey_) {
+            minKey_ = key;
+            candidates_ = {value};
+        } else if (key == minKey_) {
+            candidates_.insert(value);
+        }
+        return true;
+    }
+
+    bool
+    checkFinal(Machine &machine, std::string *diag) override
+    {
+        const OrderedPut::Pair got = cell_->peek(machine);
+        if (got.key != minKey_) {
+            if (diag) {
+                *diag = "model 'ordered_put': final key " +
+                        std::to_string(got.key) +
+                        ", model minimum is " +
+                        std::to_string(minKey_);
+            }
+            return false;
+        }
+        if (minKey_ != OrderedPut::kEmptyKey &&
+            candidates_.count(got.value) == 0) {
+            if (diag) {
+                *diag = "model 'ordered_put': final value " +
+                        std::to_string(got.value) +
+                        " was never put with the minimum key " +
+                        std::to_string(minKey_);
+            }
+            return false;
+        }
+        return true;
+    }
+
+    std::vector<uint8_t>
+    snapshotMachine(Machine &machine) override
+    {
+        const OrderedPut::Pair got = cell_->peek(machine);
+        return encode(got.key, got.value);
+    }
+
+    std::vector<uint8_t>
+    snapshotModel() override
+    {
+        // Only well-defined when no key tie occurred; checkFinal()
+        // (which the oracle uses) handles ties.
+        const uint64_t value =
+            candidates_.empty() ? 0 : *candidates_.begin();
+        return encode(minKey_, value);
+    }
+
+  private:
+    static std::vector<uint8_t>
+    encode(int64_t key, uint64_t value)
+    {
+        std::vector<uint8_t> out;
+        for (int i = 0; i < 8; i++)
+            out.push_back(uint8_t(uint64_t(key) >> (8 * i)));
+        for (int i = 0; i < 8; i++)
+            out.push_back(uint8_t(value >> (8 * i)));
+        return out;
+    }
+
+    const OrderedPut *cell_;
+    int64_t minKey_ = OrderedPut::kEmptyKey;
+    std::set<uint64_t> candidates_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_TESTS_MODELS_ORDERED_PUT_MODEL_H

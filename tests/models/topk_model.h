@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Software model of TopK for the replay oracle: keep the K largest
+ * inserted keys. Insert-only workloads are fully commutative, so the
+ * final retained set is exact regardless of commit order; the
+ * snapshot encoding sorts both sides (the structure's heap order is
+ * an implementation detail, the retained multiset is the guarantee).
+ */
+
+#ifndef COMMTM_TESTS_MODELS_TOPK_MODEL_H
+#define COMMTM_TESTS_MODELS_TOPK_MODEL_H
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lib/topk.h"
+#include "rt/machine.h"
+#include "sim/replay_oracle.h"
+
+namespace commtm {
+
+class TopKModel : public StructureModel
+{
+  public:
+    enum Kind : uint32_t { kInsert = 0 };
+
+    explicit TopKModel(const TopK *topk) : topk_(topk) {}
+
+    static ModelOp
+    insert(uint32_t sid, int64_t key)
+    {
+        return ModelOp{sid, kInsert, true, {uint64_t(key)}};
+    }
+
+    const char *name() const override { return "topk"; }
+
+    bool
+    apply(const ModelOp &op, std::string *diag) override
+    {
+        if (op.kind != kInsert) {
+            *diag = "unknown op kind " + std::to_string(op.kind);
+            return false;
+        }
+        retained_.insert(int64_t(op.args.at(0)));
+        if (retained_.size() > topk_->k())
+            retained_.erase(retained_.begin()); // drop the smallest
+        return true;
+    }
+
+    std::vector<uint8_t>
+    snapshotMachine(Machine &machine) override
+    {
+        std::vector<int64_t> got = topk_->peekAll(machine);
+        std::sort(got.begin(), got.end());
+        return encode(got);
+    }
+
+    std::vector<uint8_t>
+    snapshotModel() override
+    {
+        // std::multiset iterates smallest-first: already sorted.
+        return encode(std::vector<int64_t>(retained_.begin(),
+                                           retained_.end()));
+    }
+
+  private:
+    static std::vector<uint8_t>
+    encode(const std::vector<int64_t> &vals)
+    {
+        std::vector<uint8_t> out;
+        out.reserve(vals.size() * 8);
+        for (int64_t v : vals) {
+            for (int i = 0; i < 8; i++)
+                out.push_back(uint8_t(uint64_t(v) >> (8 * i)));
+        }
+        return out;
+    }
+
+    const TopK *topk_;
+    std::multiset<int64_t> retained_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_TESTS_MODELS_TOPK_MODEL_H

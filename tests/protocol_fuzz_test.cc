@@ -6,20 +6,42 @@
  * checking the paper's key invariant after every step: the line's
  * value equals the reduction of all private U copies (Sec. III-B3),
  * and the directory state stays consistent with the private caches.
+ *
+ * Every case runs with commit recording on and the replay oracle
+ * active (docs/ARCHITECTURE.md Sec. 9): the recorded commit order is
+ * serially re-executed against a software counter model, and the
+ * differential case cross-checks eager vs. lazy per-commit labeled-op
+ * digests and end states. COMMTM_FUZZ_SEED_OFFSET shifts every seed
+ * (the CI oracle leg sets it per run for seed randomization).
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "lib/counter.h"
+#include "models/counter_model.h"
 #include "rt/machine.h"
+#include "sim/replay_oracle.h"
 
 namespace commtm {
 namespace {
 
+/** CI seed randomization: shifts every fuzz seed, 0 by default. */
+uint64_t
+fuzzSeedOffset()
+{
+    static const uint64_t offset = [] {
+        const char *s = std::getenv("COMMTM_FUZZ_SEED_OFFSET");
+        return s ? std::strtoull(s, nullptr, 10) : 0ull;
+    }();
+    return offset;
+}
+
 /** Tiny-cache machine: maximal eviction pressure. Geometry comes from
- *  forCores, so >128-core seeds also run the scaled mesh. */
+ *  forCores, so >128-core seeds also run the scaled mesh. Commit
+ *  recording is on for every fuzz machine (observation-only). */
 MachineConfig
 fuzzConfig(uint64_t seed, uint32_t cores)
 {
@@ -30,6 +52,7 @@ fuzzConfig(uint64_t seed, uint32_t cores)
     c.l2SizeKB = 2;  // 4 sets x 8 ways
     c.l3SizeKB = 32; // 32 sets x 16 ways
     c.seed = seed;
+    c.recordCommits = true;
     return c;
 }
 
@@ -53,15 +76,17 @@ fuzzOps(uint32_t cores, int small_machine_ops)
 
 class ProtocolFuzz : public ::testing::TestWithParam<uint64_t>
 {
+  protected:
+    uint64_t seed() const { return GetParam() + fuzzSeedOffset(); }
 };
 
 TEST_P(ProtocolFuzz, CounterInvariantSurvivesRandomOps)
 {
-    const uint32_t kCores = fuzzCores(GetParam());
+    const uint32_t kCores = fuzzCores(seed());
     constexpr uint32_t kCounters = 48; // overflows the tiny L2 sets
     const int kOpsPerThread = fuzzOps(kCores, 400);
 
-    Machine m(fuzzConfig(GetParam(), kCores));
+    Machine m(fuzzConfig(seed(), kCores));
     const Label add = CommCounter::defineLabel(m);
     std::vector<Addr> counters;
     for (uint32_t i = 0; i < kCounters; i++)
@@ -71,7 +96,13 @@ TEST_P(ProtocolFuzz, CounterInvariantSurvivesRandomOps)
     // order equals host execution order (the simulator is sequential
     // and each txRun/model-update pair runs without a fiber switch
     // between them), so the model tracks the committed state exactly.
+    // The replay oracle re-derives the same facts independently: each
+    // op is attached to the transaction that committed it and the
+    // whole commit order is re-executed serially at the end.
     std::vector<int64_t> model(kCounters, 0);
+    ReplayOracle oracle(m);
+    const uint32_t cm =
+        oracle.addModel(std::make_unique<CounterModel>(counters));
 
     for (uint32_t t = 0; t < kCores; t++) {
         m.addThread([&, t](ThreadContext &ctx) {
@@ -88,9 +119,16 @@ TEST_P(ProtocolFuzz, CounterInvariantSurvivesRandomOps)
                         ctx.writeLabeled<int64_t>(a, add, v + 1);
                     });
                     model[c]++;
+                    oracle.recordOp(ctx, CounterModel::add(cm, c, 1));
                 } else if (action < 85) {
                     // Conventional read: triggers a full reduction.
-                    ctx.txRun([&] { (void)ctx.read<int64_t>(a); });
+                    // The value it returns is valid as of this
+                    // transaction's commit, so the serial replay can
+                    // check it against the model exactly.
+                    int64_t v = 0;
+                    ctx.txRun([&] { v = ctx.read<int64_t>(a); });
+                    oracle.recordOp(ctx,
+                                    CounterModel::read(cm, c, v));
                 } else if (action < 95) {
                     // Gather: rebalances but must not change the total.
                     ctx.txRun([&] {
@@ -100,6 +138,7 @@ TEST_P(ProtocolFuzz, CounterInvariantSurvivesRandomOps)
                     // Conventional overwrite: resets the counter.
                     ctx.txRun([&] { ctx.write<int64_t>(a, 0); });
                     model[c] = 0;
+                    oracle.recordOp(ctx, CounterModel::set(cm, c, 0));
                 }
             }
         });
@@ -113,6 +152,11 @@ TEST_P(ProtocolFuzz, CounterInvariantSurvivesRandomOps)
         std::memcpy(&v, line.data(), sizeof(v));
         EXPECT_EQ(v, model[c]) << "counter " << c;
     }
+    // Serial re-execution oracle: replay the recorded commit order
+    // one transaction at a time through the software model, then
+    // compare final states byte-for-byte.
+    std::string diag;
+    EXPECT_TRUE(oracle.replaySerial(&diag)) << diag;
     // The run must actually have exercised the U-state machinery. On
     // small machines the tiny caches force U evictions; on >128-core
     // machines (fewer ops per thread, many sharers per line) frequent
@@ -129,8 +173,8 @@ TEST_P(ProtocolFuzz, MixedLabelsNeverCrossContaminate)
 {
     // Offset pick: a different core-count schedule than the counter
     // fuzz, still covering >128-core (spilled-sharer) machines.
-    const uint32_t kCores = fuzzCores(GetParam() + 1);
-    Machine m(fuzzConfig(GetParam() ^ 0xabcdef, kCores));
+    const uint32_t kCores = fuzzCores(seed() + 1);
+    Machine m(fuzzConfig(seed() ^ 0xabcdef, kCores));
     const Label add = m.labels().define(labels::makeAdd<int64_t>("ADD"));
     const Label mn = m.labels().define(labels::makeMin<int64_t>("MIN"));
     const Label mx = m.labels().define(labels::makeMax<int64_t>("MAX"));
@@ -190,6 +234,57 @@ TEST_P(ProtocolFuzz, MixedLabelsNeverCrossContaminate)
     EXPECT_EQ(value(sum_cell), int64_t(kCores) * kOps);
     EXPECT_EQ(value(min_cell), expect_min);
     EXPECT_EQ(value(max_cell), expect_max);
+}
+
+TEST_P(ProtocolFuzz, EagerLazyDifferentialCountersAgree)
+{
+    // Differential mode replay (docs/ARCHITECTURE.md Sec. 9): the
+    // same seeded increment workload under eager and lazy detection
+    // must produce identical per-core labeled-op shape streams and
+    // identical end states. Workload randomness comes from private
+    // host Rngs, never ctx.rng() — the context Rng also feeds abort
+    // backoff, so its draw sequence legitimately differs across
+    // detection modes.
+    const uint64_t s = seed();
+    const uint32_t kCores = fuzzCores(s + 2);
+    constexpr uint32_t kCounters = 16;
+    const int kOps = fuzzOps(kCores, 120);
+
+    const auto workload = [&](const MachineConfig &cfg) {
+        Machine m(cfg);
+        const Label add = CommCounter::defineLabel(m);
+        std::vector<Addr> counters;
+        for (uint32_t i = 0; i < kCounters; i++)
+            counters.push_back(m.allocator().allocLines(1));
+        for (uint32_t t = 0; t < kCores; t++) {
+            m.addThread([&, t](ThreadContext &ctx) {
+                Rng rng(cfg.seed ^ (0xd1fful * (t + 1)));
+                for (int i = 0; i < kOps; i++) {
+                    const Addr a =
+                        counters[rng.below(kCounters)];
+                    ctx.txRun([&] {
+                        const int64_t v =
+                            ctx.readLabeled<int64_t>(a, add);
+                        ctx.writeLabeled<int64_t>(a, add, v + 1);
+                    });
+                }
+            });
+        }
+        m.run();
+        DifferentialRun out;
+        out.log = m.commitLog()->serialize();
+        for (Addr a : counters) {
+            const LineData line =
+                m.memSys().debugReducedValue(lineAddr(a));
+            out.endState.insert(out.endState.end(), line.data(),
+                                line.data() + sizeof(int64_t));
+        }
+        return out;
+    };
+
+    const DifferentialResult res = runDifferential(
+        fuzzConfig(s, kCores), workload, DiffMode::Shape);
+    EXPECT_TRUE(res.ok) << res.diag;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
