@@ -175,6 +175,7 @@ runBoruvka(const MachineConfig &machine_cfg, uint32_t threads,
                 // Count live roots (64b ADD) to decide termination.
                 ctx.txRun([&] {
                     const Addr cell = mem.roots + 8 * Addr(round);
+                    // lint: allow-tx-aborted (labeled RMW)
                     const int64_t local =
                         ctx.readLabeled<int64_t>(cell, ladd);
                     ctx.writeLabeled<int64_t>(cell, ladd,
@@ -212,6 +213,7 @@ runBoruvka(const MachineConfig &machine_cfg, uint32_t threads,
                     local_weight += int64_t(w);
             }
             ctx.txRun([&] {
+                // lint: allow-tx-aborted (labeled RMW)
                 const int64_t cur =
                     ctx.readLabeled<int64_t>(mem.weight, ladd);
                 ctx.writeLabeled<int64_t>(mem.weight, ladd,

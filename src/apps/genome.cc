@@ -86,6 +86,7 @@ runGenome(const MachineConfig &machine_cfg, uint32_t threads,
                 ctx.compute(cfg.segmentLength / 8);
             }
             ctx.txRun([&] {
+                // lint: allow-tx-aborted (labeled RMW)
                 const int64_t cur =
                     ctx.readLabeled<int64_t>(link_count, l_add);
                 ctx.writeLabeled<int64_t>(link_count, l_add,

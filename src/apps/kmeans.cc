@@ -117,11 +117,13 @@ runKmeans(const MachineConfig &machine_cfg, uint32_t threads,
                         for (uint32_t j = 0; j < d; j++) {
                             if (ctx.txAborted())
                                 return; // txRun retries the body
+                            // lint: allow-tx-aborted (labeled RMW)
                             const float cur = ctx.readLabeled<float>(
                                 row + 4 * j, fp_add);
                             ctx.writeLabeled<float>(row + 4 * j, fp_add,
                                                     cur + point[j]);
                         }
+                        // lint: allow-tx-aborted (labeled RMW)
                         const int32_t pop = ctx.readLabeled<int32_t>(
                             pops + 4 * Addr(best), i_add);
                         ctx.writeLabeled<int32_t>(pops + 4 * Addr(best),
@@ -131,6 +133,7 @@ runKmeans(const MachineConfig &machine_cfg, uint32_t threads,
                 // Publish this thread's membership-change count.
                 ctx.txRun([&] {
                     const Addr cell = changes + 8 * Addr(iter);
+                    // lint: allow-tx-aborted (labeled RMW)
                     const int64_t cur =
                         ctx.readLabeled<int64_t>(cell, c_add);
                     ctx.writeLabeled<int64_t>(cell, c_add,

@@ -136,6 +136,7 @@ runYada(const MachineConfig &machine_cfg, uint32_t threads,
                     }
                     ctx.write<uint8_t>(mesh + h, 1);
                     // Retriangulate: quality stats are commutative.
+                    // lint: allow-tx-aborted (labeled min-RMW)
                     const int64_t lo_q =
                         ctx.readLabeled<int64_t>(min_cell, mn);
                     ctx.writeLabeled<int64_t>(min_cell, mn,

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/check.h"
 #include "sim/commit_log.h"
 
 namespace commtm {
@@ -112,11 +113,16 @@ Cycle
 HtmManager::commit(CoreId core, Cycle now)
 {
     Tx &tx = txs_[core];
-    assert(tx.active);
+    COMMTM_CHECK(tx.active, "commit on core %u with no transaction",
+                 core);
     // txRun's commit point polls the doomed flag right before calling
     // commit, with no yield in between, and nothing in the commit
-    // sequence below can doom the committer itself.
-    assert(!tx.doomed && "caller must observe the doomed flag first");
+    // sequence below can doom the committer itself. Committing a
+    // doomed transaction would publish conflicting speculative state.
+    COMMTM_CHECK(!tx.doomed,
+                 "core %u committing a doomed transaction (cause %d); "
+                 "the caller must observe the doomed flag first",
+                 core, int(tx.doomCause));
     Cycle publish_latency = 0;
     if (cfg_.conflictDetection == ConflictDetection::Lazy) {
         lazyArbitrate(core);
@@ -131,7 +137,10 @@ HtmManager::commit(CoreId core, Cycle now)
             a.size = kLineSize;
             a.op = MemOp::Store;
             const AccessResult r = mem_.access(a);
-            assert(!r.mustAbort());
+            COMMTM_CHECK(!r.mustAbort(),
+                         "lazy commit publication of line 0x%llx "
+                         "aborted; arbitration already ran",
+                         (unsigned long long)line);
             publish_latency += r.latency;
         }
     }

@@ -146,6 +146,8 @@ class HtmManager final : public HtmHooks
     }
 
   private:
+    friend class InvariantChecker;
+
     struct Tx {
         bool active = false;
         bool doomed = false;

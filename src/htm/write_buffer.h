@@ -66,7 +66,7 @@ class WriteBuffer
         while (size > 0) {
             const uint32_t off = lineOffset(addr);
             const size_t chunk = std::min(size, size_t(kLineSize - off));
-            if (const Entry *e = lines_.find(lineAddr(addr))) {
+            if (const auto e = lines_.find(lineAddr(addr))) {
                 for (size_t i = 0; i < chunk; i++) {
                     if (e->mask & (uint64_t(1) << (off + i)))
                         dst[i] = e->data[off + i];

@@ -32,6 +32,7 @@ void
 BoundedCounter::increment(ThreadContext &ctx, int64_t delta)
 {
     ctx.txRun([&] {
+        // lint: allow-tx-aborted (labeled RMW; write dies on abort)
         const int64_t local = ctx.readLabeled<int64_t>(addr_, label_);
         ctx.writeLabeled<int64_t>(addr_, label_, local + delta);
     });

@@ -98,6 +98,7 @@ GridClaim::releaseOne(ThreadContext &ctx, uint32_t cell)
 {
     assert(cell < numCells());
     const Addr a = cellAddr(cell);
+    // lint: allow-tx-aborted (labeled RMW; write dies on abort)
     const uint8_t tokens = ctx.readLabeled<uint8_t>(a, label_);
     ctx.writeLabeled<uint8_t>(a, label_, uint8_t(tokens + 1));
 }

@@ -47,6 +47,7 @@ void
 OrderedPut::put(ThreadContext &ctx, int64_t key, uint64_t value)
 {
     ctx.txRun([&] {
+        // lint: allow-tx-aborted (labeled min-RMW; write dies on abort)
         const int64_t current = ctx.readLabeled<int64_t>(addr_, label_);
         if (key < current) {
             ctx.writeLabeled<int64_t>(addr_, label_, key);

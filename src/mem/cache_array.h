@@ -194,6 +194,22 @@ class CacheArray
         }
     }
 
+    /** Iterate over all valid entries (read-only). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &set : setStore_) {
+            if (!set)
+                continue;
+            for (uint32_t w = 0; w < ways_; w++) {
+                const Entry &entry = set[w];
+                if (entry.valid)
+                    fn(entry);
+            }
+        }
+    }
+
     /** Invalidate everything (between experiments); materialized sets
      *  are released, returning the array to its lazy initial state. */
     void

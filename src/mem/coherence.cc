@@ -17,6 +17,8 @@
 // letting the dispatch helpers below call the final HtmManager methods
 // directly — no virtual dispatch on the access fast path.
 #include "htm/htm.h"
+#include "sim/check.h"
+#include "sim/invariants.h"
 
 namespace commtm {
 
@@ -126,7 +128,10 @@ MemorySystem::HandlerCtx::rawRead(Addr addr, void *out, size_t size)
         a.op = MemOp::Load;
         a.handler = true;
         const AccessResult r = ms_.access(a);
-        assert(!r.mustAbort());
+        COMMTM_CHECK(!r.mustAbort(),
+                     "handler read of 0x%llx aborted; handlers are "
+                     "non-speculative and must always win",
+                     (unsigned long long)addr);
         lat_ += r.latency;
         ms_.memory_.read(addr, dst, chunk);
         dst += chunk;
@@ -149,7 +154,10 @@ MemorySystem::HandlerCtx::rawWrite(Addr addr, const void *src, size_t size)
         a.op = MemOp::Store;
         a.handler = true;
         const AccessResult r = ms_.access(a);
-        assert(!r.mustAbort());
+        COMMTM_CHECK(!r.mustAbort(),
+                     "handler write of 0x%llx aborted; handlers are "
+                     "non-speculative and must always win",
+                     (unsigned long long)addr);
         lat_ += r.latency;
         ms_.memory_.write(addr, from, chunk);
         from += chunk;
@@ -189,7 +197,10 @@ MemorySystem::coreHasU(CoreId core, Addr line) const
 LineData &
 MemorySystem::uCopy(CoreId core, Addr line)
 {
-    LineData *copy = cores_[core]->uCopies.find(line);
+    // Deliberately a plain reference (not a sanitizer handle): the
+    // contract is "must exist", callers use it immediately, and the
+    // functional accessors sit on the hot path.
+    const auto copy = cores_[core]->uCopies.find(line);
     assert(copy);
     return *copy;
 }
@@ -197,7 +208,7 @@ MemorySystem::uCopy(CoreId core, Addr line)
 const LineData &
 MemorySystem::uCopy(CoreId core, Addr line) const
 {
-    const LineData *copy = cores_[core]->uCopies.find(line);
+    const auto copy = cores_[core]->uCopies.find(line);
     assert(copy);
     return *copy;
 }
@@ -286,7 +297,7 @@ MemorySystem::debugReducedValue(Addr line) const
     LineData acc{};
     bool have = false;
     e->sharers.forEach([&](CoreId s) {
-        const LineData *copy = cores_[s]->uCopies.find(line);
+        const auto copy = cores_[s]->uCopies.find(line);
         assert(copy);
         if (!have) {
             acc = *copy;
@@ -309,7 +320,7 @@ MemorySystem::debugUCopies(Addr line) const
     if (!e || e->dir != DirState::U)
         return copies;
     e->sharers.forEach([&](CoreId s) {
-        const LineData *copy = cores_[s]->uCopies.find(line);
+        const auto copy = cores_[s]->uCopies.find(line);
         assert(copy);
         copies.push_back(*copy);
     });
@@ -393,18 +404,15 @@ void
 MemorySystem::markSpec(const Access &req, Addr line)
 {
     PrivLine *e1 = findL1(req.core, line);
-#ifndef NDEBUG
-    if (!e1) {
-        fprintf(stderr,
-                "markSpec miss: core=%u op=%d label=%d line=%llx "
-                "l2=%d dir=%d sharers=%u hasU=%d\n",
-                req.core, int(req.op), int(req.label),
-                (unsigned long long)line,
-                int(privState(req.core, line)), int(dirState(line)),
-                sharerCount(line), int(coreHasU(req.core, line)));
-    }
-#endif
-    assert(e1 && "speculative access must leave the line in the L1");
+    COMMTM_CHECK(e1,
+                 "speculative access must leave the line in the L1: "
+                 "core=%u op=%d label=%d line=0x%llx l2=%s dir=%s "
+                 "sharers=%u hasU=%d",
+                 req.core, int(req.op), int(req.label),
+                 (unsigned long long)line,
+                 privStateName(privState(req.core, line)),
+                 dirStateName(dirState(line)), sharerCount(line),
+                 int(coreHasU(req.core, line)));
     // A labeled op is only a *commutative* access while the line is in
     // U: satisfied by an exclusively-held (E/M) line it executes on
     // the fully-reduced value (Fig. 3) — the conditionally-commutative
@@ -553,11 +561,17 @@ MemorySystem::uEvict(CoreId core, Addr line, Cycle &lat)
     // core's copy away (see docs/ARCHITECTURE.md Sec. 2.3); then there
     // is nothing left to do.
     auto &copies = cores_[core]->uCopies;
-    const LineData *found = copies.find(line);
+    const auto found = copies.find(line);
     if (!found)
         return;
     L3Line *e = l3_.lookup(line);
-    assert(e && e->dir == DirState::U && e->sharers.test(core));
+    COMMTM_CHECK(e, "U eviction of line 0x%llx with no L3 entry",
+                 (unsigned long long)line);
+    COMMTM_CHECK(e->dir == DirState::U && e->sharers.test(core),
+                 "U eviction of line 0x%llx by core %u, but the "
+                 "directory has it %s with sharer bit %d",
+                 (unsigned long long)line, core, dirStateName(e->dir),
+                 int(e->sharers.test(core)));
     const LineData copy = *found;
     copies.erase(line);
     e->sharers.clear(core);
@@ -635,6 +649,14 @@ MemorySystem::setPriv(CoreId core, Addr line, PrivState state, Label label,
         e2 = r.entry;
         evicted2 = r.evicted;
         victim2 = r.victim;
+    } else if (filling_u && e2->state != PrivState::U) {
+        // In-place upgrade of a conventional line to U counts against
+        // the reserved way exactly like a U fill; without this a hit
+        // path could fill every way of the set with U lines and a
+        // later handler fill would find no eligible victim (caught by
+        // the invariant checker's reserved-way sweep under fuzz).
+        reserve(pc.l2, true);
+        e2 = pc.l2.lookup(line);
     }
     e2->state = state;
     e2->label = label;
@@ -650,6 +672,9 @@ MemorySystem::setPriv(CoreId core, Addr line, PrivState state, Label label,
         e1 = r.entry;
         evicted1 = r.evicted;
         victim1 = r.victim;
+    } else if (filling_u && e1->state != PrivState::U) {
+        reserve(pc.l1, false); // same reserved-way rule as the L2
+        e1 = pc.l1.lookup(line);
     }
     e1->state = state;
     e1->label = label;
@@ -662,6 +687,36 @@ MemorySystem::setPriv(CoreId core, Addr line, PrivState state, Label label,
         onEvictL1(core, victim1);
     if (evicted2)
         onEvictL2(core, victim2, lat);
+}
+
+void
+MemorySystem::reserveWayForU(CoreId core, Addr line, Cycle &lat)
+{
+    // An in-place downgrade of a conventional copy to U (e.g. the
+    // exclusive owner in GETU Case 5) bypasses setPriv's fill path,
+    // but counts against the reserved way all the same: without this
+    // the set could end up all-U and a later reduction-handler fill
+    // would find no eligible victim.
+    PerCore &pc = *cores_[core];
+    const auto reserve = [&](CacheArray<PrivLine> &arr, bool is_l2) {
+        const PrivLine *cur = arr.lookup(line);
+        if (!cur || cur->state == PrivState::U)
+            return; // no conversion at this level, or already U
+        while (arr.countInSet(line, isULine) >= arr.ways() - 1) {
+            PrivLine *v = arr.findLruWhere(line, isULine);
+            assert(v);
+            PrivLine copy = *v;
+            arr.erase(copy.line);
+            if (is_l2)
+                onEvictL2(core, copy, lat);
+            else
+                onEvictL1(core, copy);
+        }
+    };
+    // L2 first: back-invalidation of an evicted L2 U line frees its
+    // L1 way too.
+    reserve(pc.l2, true);
+    reserve(pc.l1, false);
 }
 
 // ---------------------------------------------------------------------
@@ -685,7 +740,7 @@ MemorySystem::onEvictL3(L3Line &victim, Cycle &lat)
                 if (e1->spec() && hookInTx(s))
                     hookRemoteAbort(s, AbortCause::UEviction);
             }
-            const LineData *found = cores_[s]->uCopies.find(vline);
+            const auto found = cores_[s]->uCopies.find(vline);
             if (!found)
                 return;
             // Copy the donor value before running the reduction
@@ -752,7 +807,9 @@ MemorySystem::getL3(const Access &req, Addr line, Cycle &lat)
     // Handler recursion inside onEvictL3 may have reshuffled the set;
     // re-find our entry.
     L3Line *e = l3_.lookup(line);
-    assert(e);
+    COMMTM_CHECK(e, "line 0x%llx lost its L3 entry during the fill's "
+                    "own eviction",
+                 (unsigned long long)line);
     return e;
 }
 
@@ -935,6 +992,15 @@ MemorySystem::handleGETU(const Access &req, L3Line *e, AccessResult &res)
         assert(owner != c && "exclusive holder would have hit locally");
         if (!battle(req, owner, line, InvalKind::ForLabeled, res))
             return {};
+        // The in-place M->U downgrade below counts against the
+        // owner's reserved way like any U fill. The eviction may run
+        // a reduction handler that recurses into access() and
+        // reshuffles the L3 flat map, so re-find our entry after.
+        reserveWayForU(owner, line, res.latency);
+        e = l3_.lookup(line);
+        COMMTM_CHECK(e, "L3 entry for line 0x%llx vanished during "
+                        "reserved-way eviction",
+                     (unsigned long long)line);
         cores_[owner]->uCopies[line] = memory_.readLine(line);
         if (PrivLine *oe1 = findL1(owner, line)) {
             oe1->state = PrivState::U;
@@ -1012,8 +1078,11 @@ MemorySystem::reduceLine(const Access &req, L3Line *e, AccessResult &res,
             nacked = true;
             continue;
         }
-        const LineData *fwd_copy = cores_[s]->uCopies.find(line);
-        assert(fwd_copy && "a directory-U sharer must hold a U copy");
+        const auto fwd_copy = cores_[s]->uCopies.find(line);
+        COMMTM_CHECK(fwd_copy,
+                     "directory-U sharer %u of line 0x%llx holds no U "
+                     "copy to forward",
+                     s, (unsigned long long)line);
         const LineData fwd = *fwd_copy;
         if (!have) {
             // The requester transitions to U on the first forwarded line.
@@ -1043,7 +1112,10 @@ MemorySystem::reduceLine(const Access &req, L3Line *e, AccessResult &res,
         return;
     }
 
-    assert(have && "a directory-U line must have at least one sharer");
+    COMMTM_CHECK(have,
+                 "reduction of line 0x%llx found no sharer copies; a "
+                 "directory-U line must have at least one",
+                 (unsigned long long)line);
     if (to_m) {
         pc.uCopies.erase(line);
         memory_.writeLine(line, acc);
@@ -1166,7 +1238,9 @@ MemorySystem::access(const Access &req)
     } handler_guard{handlerDepth_, req.handler};
     if (req.handler) {
         handlerDepth_++;
-        assert(handlerDepth_ == 1 && "handler accesses must not nest");
+        COMMTM_CHECK(handlerDepth_ == 1,
+                     "handler accesses must not nest (depth=%u)",
+                     handlerDepth_);
     }
 
     AccessResult res;
@@ -1268,7 +1342,8 @@ MemorySystem::access(const Access &req)
         // Earlier steps (reductions, evictions) may have reshuffled
         // the L3 set; re-find our entry.
         e = l3_.lookup(line);
-        assert(e);
+        COMMTM_CHECK(e, "line 0x%llx lost its L3 entry mid-drain",
+                     (unsigned long long)line);
         switch (w.step) {
           case Step::Dispatch:
             switch (req.op) {
@@ -1311,7 +1386,77 @@ MemorySystem::access(const Access &req)
 
     if (req.isTx && !req.handler && !res.mustAbort())
         markSpec(req, line);
+
+    // End-of-drain sweep (MachineConfig::invariantOnDrain). Handler
+    // re-entries are skipped: mid-reduction the machine is legitimately
+    // transient (e.g. onEvictL3 reuses the L3 slot while the remaining
+    // sharers still hold their copies), and only the top-level drain
+    // loop's end is a consistent sync point.
+    if (invariants_ && !req.handler)
+        invariants_->check(InvariantChecker::SyncPoint::DrainEnd);
     return res;
+}
+
+// --- test-only fault injection ---------------------------------------
+// Each hook corrupts exactly one field of the machine so the negative
+// tests in tests/invariants_test.cc can prove the checker catches that
+// violation class with the right diagnostic. Never called outside
+// tests.
+
+void
+MemorySystem::testFlipDirState(Addr line, DirState to)
+{
+    L3Line *e = l3_.lookup(line);
+    assert(e);
+    e->dir = to;
+}
+
+void
+MemorySystem::testFlipSharerBit(Addr line, CoreId core)
+{
+    L3Line *e = l3_.lookup(line);
+    assert(e);
+    if (e->sharers.test(core))
+        e->sharers.clear(core);
+    else
+        e->sharers.set(core);
+}
+
+void
+MemorySystem::testFlipPrivState(CoreId core, Addr line, PrivState to)
+{
+    if (PrivLine *e1 = findL1(core, line))
+        e1->state = to;
+    if (PrivLine *e2 = findL2(core, line))
+        e2->state = to;
+}
+
+void
+MemorySystem::testFlipL1State(CoreId core, Addr line, PrivState to)
+{
+    PrivLine *e1 = findL1(core, line);
+    assert(e1);
+    e1->state = to;
+}
+
+void
+MemorySystem::testDropUCopy(CoreId core, Addr line)
+{
+    cores_[core]->uCopies.erase(line);
+}
+
+void
+MemorySystem::testFlipNotedBit(CoreId core, Addr line)
+{
+    PrivLine *e1 = findL1(core, line);
+    assert(e1);
+    e1->notedRead = !e1->notedRead;
+}
+
+void
+MemorySystem::testSetHandlerDepth(uint32_t depth)
+{
+    handlerDepth_ = depth;
 }
 
 } // namespace commtm

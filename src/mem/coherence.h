@@ -99,6 +99,9 @@ class HtmHooks
  *  memory system can dispatch to it without virtual calls. */
 class HtmManager;
 
+/** Machine-wide protocol invariant checker (sim/invariants.h). */
+class InvariantChecker;
+
 /**
  * The whole simulated memory hierarchy and coherence protocol. All
  * methods execute atomically in simulated time (zsim-style simple-core
@@ -163,7 +166,28 @@ class MemorySystem
      *  reductions write memory (lists, top-K sets). */
     std::vector<LineData> debugUCopies(Addr line) const;
 
+    /** Install the invariant checker for end-of-drain-loop sweeps
+     *  (MachineConfig::invariantOnDrain); nullptr disables them. */
+    void setInvariantChecker(InvariantChecker *checker)
+    {
+        invariants_ = checker;
+    }
+
+    // --- test-only fault injection (tests/invariants_test.cc) ---
+    // Directory/private-state flip hooks, the invariant-checker
+    // counterpart of CommitLog::setTestOperandFlip: each corrupts ONE
+    // field of the machine, modeling the protocol bug class the
+    // checker must catch, and is never called outside tests.
+    void testFlipDirState(Addr line, DirState to);
+    void testFlipSharerBit(Addr line, CoreId core);
+    void testFlipPrivState(CoreId core, Addr line, PrivState to);
+    void testFlipL1State(CoreId core, Addr line, PrivState to);
+    void testDropUCopy(CoreId core, Addr line);
+    void testFlipNotedBit(CoreId core, Addr line);
+    void testSetHandlerDepth(uint32_t depth);
+
   private:
+    friend class InvariantChecker;
     /** Per-core private cache hierarchy. */
     struct PerCore {
         PerCore(uint32_t l1_lines, uint32_t l1_ways, uint32_t l2_lines,
@@ -258,6 +282,10 @@ class MemorySystem
     /** Install/refresh (core, line) in both L1 and L2 with @p state. */
     void setPriv(CoreId core, Addr line, PrivState state, Label label,
                  bool dirty, bool handler, Cycle &lat);
+    /** Before converting @p line to U in place in @p core's caches,
+        evict LRU U lines until each set keeps a non-U way
+        (reserved-way rule, Sec. III-B4). */
+    void reserveWayForU(CoreId core, Addr line, Cycle &lat);
     /** Drop (core, line) from L1+L2 (invalidations, reductions). */
     void dropPriv(CoreId core, Addr line);
     /** Mark speculative bits for a transactional access. */
@@ -301,6 +329,9 @@ class MemorySystem
 
     std::vector<std::unique_ptr<PerCore>> cores_;
     CacheArray<L3Line> l3_;
+    /** End-of-drain-loop sweep hook; installed only when
+     *  MachineConfig::invariantOnDrain is set. */
+    InvariantChecker *invariants_ = nullptr;
 
     /** Live handler-issued access() frames. Handlers cannot touch U
      *  lines nor evict them, so a handler access never runs another

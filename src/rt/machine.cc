@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace commtm {
 
@@ -32,6 +33,27 @@ Machine::Machine(MachineConfig cfg)
     if (cfg_.recordCommits || std::getenv("COMMTM_RECORD_COMMITS")) {
         commitLog_ = std::make_unique<CommitLog>(cfg_.numCores);
         htm_->setCommitLog(commitLog_.get());
+    }
+    // COMMTM_CHECK_INVARIANTS forces observation-only invariant sweeps
+    // on for any run: any value enables the periodic sweeps, "commit"
+    // adds transaction-boundary sweeps, "drain" adds both those and
+    // end-of-drain-loop sweeps (fuzz-scale machines only; see
+    // MachineConfig). mem_/htm_ hold references to this cfg_, so the
+    // upgraded knobs are visible to them.
+    if (const char *env = std::getenv("COMMTM_CHECK_INVARIANTS")) {
+        cfg_.checkInvariants = true;
+        if (std::strcmp(env, "commit") == 0) {
+            cfg_.invariantOnTxEnd = true;
+        } else if (std::strcmp(env, "drain") == 0) {
+            cfg_.invariantOnTxEnd = true;
+            cfg_.invariantOnDrain = true;
+        }
+    }
+    if (cfg_.checkInvariants) {
+        invariants_ =
+            std::make_unique<InvariantChecker>(cfg_, *mem_, *htm_);
+        if (cfg_.invariantOnDrain)
+            mem_->setInvariantChecker(invariants_.get());
     }
 }
 
@@ -115,6 +137,14 @@ Machine::run()
             break;
         }
         assert(second == othersMin(best));
+        // Scheduler boundaries are consistent sync points: no access()
+        // frame or handler is in flight between fiber resumes.
+        if (invariants_ && cfg_.invariantPeriod &&
+            best->nextCycle_ >= nextInvariantSweep_) {
+            invariants_->check(InvariantChecker::SyncPoint::Periodic);
+            nextInvariantSweep_ =
+                best->nextCycle_ + cfg_.invariantPeriod;
+        }
         yieldThreshold_ = second;
         if (yieldThreshold_ != kInfinity)
             yieldThreshold_ += cfg_.schedQuantum;
@@ -126,6 +156,10 @@ Machine::run()
         }
     }
     running_ = false;
+    // Final sweep: every run ends with at least one full check, even
+    // when it was shorter than invariantPeriod.
+    if (invariants_)
+        invariants_->check(InvariantChecker::SyncPoint::Manual);
 }
 
 void

@@ -25,6 +25,7 @@
 #include "sim/commit_log.h"
 #include "sim/config.h"
 #include "sim/fiber.h"
+#include "sim/invariants.h"
 #include "sim/memory.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
@@ -206,6 +207,10 @@ class Machine
     CommitLog *commitLog() { return commitLog_.get(); }
     const CommitLog *commitLog() const { return commitLog_.get(); }
 
+    /** The invariant checker, or nullptr when checking is off (see
+     *  MachineConfig::checkInvariants and COMMTM_CHECK_INVARIANTS). */
+    InvariantChecker *invariantChecker() { return invariants_.get(); }
+
     using ThreadFn = std::function<void(ThreadContext &)>;
 
     /** Add a simulated thread; it runs when run() is called. Threads
@@ -237,6 +242,16 @@ class Machine
     void checkBarrierRelease();
     uint32_t liveThreads() const;
 
+    /** Commit/abort-boundary invariant sweep (txRun); a no-op unless
+     *  checking is on and MachineConfig::invariantOnTxEnd asks for
+     *  transaction-boundary density. */
+    void
+    invariantSync(InvariantChecker::SyncPoint where)
+    {
+        if (invariants_ && cfg_.invariantOnTxEnd)
+            invariants_->check(where);
+    }
+
     MachineConfig cfg_;
     Rng rng_;
     LabelRegistry labels_;
@@ -246,6 +261,9 @@ class Machine
     std::unique_ptr<CommitLog> commitLog_;
     std::unique_ptr<MemorySystem> mem_;
     std::unique_ptr<HtmManager> htm_;
+    std::unique_ptr<InvariantChecker> invariants_;
+    /** Next cycle at which run() owes a periodic invariant sweep. */
+    Cycle nextInvariantSweep_ = 0;
 
     struct SimThread {
         std::unique_ptr<ThreadContext> ctx;
@@ -594,6 +612,7 @@ ThreadContext::txRun(Body &&body)
             txAcc_ = 0;
             inTx_ = false;
             htm.finish(core_);
+            machine_.invariantSync(InvariantChecker::SyncPoint::Commit);
             return;
         }
         const AbortCause cause = abortCause_;
@@ -608,6 +627,7 @@ ThreadContext::txRun(Body &&body)
         txAcc_ = 0;
         txAbortPending_ = false;
         inTx_ = false;
+        machine_.invariantSync(InvariantChecker::SyncPoint::Abort);
         // retry
     }
 }

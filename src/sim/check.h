@@ -1,0 +1,35 @@
+/**
+ * @file
+ * COMMTM_CHECK: a Release-alive protocol assertion. Unlike assert(),
+ * the condition is always evaluated and a failure always aborts, with
+ * an optional printf-style context message. Use it for load-bearing
+ * protocol invariants whose violation means the simulation is already
+ * corrupt (docs/ARCHITECTURE.md Sec. 10); keep plain assert() for
+ * local sanity checks that only guard debug-build reasoning.
+ */
+
+#ifndef COMMTM_SIM_CHECK_H
+#define COMMTM_SIM_CHECK_H
+
+namespace commtm {
+
+/** Cold failure path: prints "file:line: CHECK failed: expr (msg)" to
+ *  stderr and aborts. Defined in sim/invariants.cc. */
+[[noreturn]] void commtmCheckFail(const char *file, int line,
+                                  const char *expr, const char *fmt,
+                                  ...) __attribute__((format(printf, 4, 5)));
+
+/** Always-on check; the trailing arguments are an optional printf
+ *  message ("" when omitted — the literal pasting below needs the
+ *  first vararg, if any, to be a string literal). */
+#define COMMTM_CHECK(cond, ...)                                        \
+    do {                                                               \
+        if (__builtin_expect(!(cond), 0)) {                            \
+            ::commtm::commtmCheckFail(__FILE__, __LINE__, #cond,       \
+                                      "" __VA_ARGS__);                 \
+        }                                                              \
+    } while (0)
+
+} // namespace commtm
+
+#endif // COMMTM_SIM_CHECK_H

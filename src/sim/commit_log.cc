@@ -167,7 +167,11 @@ CommitLog::serialize() const
 {
     std::vector<uint8_t> out;
     out.reserve(kHeaderBytes + kRecordBytes * records_.size());
-    out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+    // push_back loop, not a range insert: gcc 12's -O2 overflow
+    // analysis misjudges insert-from-char-array into a byte vector
+    // and fails -Werror (stringop-overflow false positive).
+    for (const char c : kMagic)
+        out.push_back(uint8_t(c));
     putU32(out, kVersion);
     putU32(out, numCores());
     putU64(out, records_.size());

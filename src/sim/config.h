@@ -101,6 +101,26 @@ struct MachineConfig {
      *  the COMMTM_RECORD_COMMITS environment variable (CI oracle
      *  legs). */
     bool recordCommits = false;
+    /** Sweep the machine-wide invariant checker (sim/invariants.h,
+     *  docs/ARCHITECTURE.md Sec. 10) at periodic scheduler sync points
+     *  (and at the sync points the knobs below add). Strictly
+     *  observation-only: the baseline wall runs bit-identical with it
+     *  on. Also forced on by the COMMTM_CHECK_INVARIANTS environment
+     *  variable: any value enables periodic sweeps; the value "commit"
+     *  additionally forces invariantOnTxEnd and "drain" forces both
+     *  invariantOnTxEnd and invariantOnDrain. */
+    bool checkInvariants = false;
+    /** Cycles between periodic invariant sweeps (0 = no periodic
+     *  sweeps). Only meaningful with checkInvariants. */
+    Cycle invariantPeriod = 100000;
+    /** Additionally sweep after every transaction commit and abort.
+     *  Meant for test-scale machines: a Table I bench commits millions
+     *  of transactions, and a full sweep per commit swamps the run. */
+    bool invariantOnTxEnd = false;
+    /** Additionally sweep at the end of every directory drain loop —
+     *  the densest sync point, meant for fuzz-scale machines whose
+     *  caches are tiny; sweeping a Table I machine per miss is slow. */
+    bool invariantOnDrain = false;
 
     // CommTM.
     SystemMode mode = SystemMode::CommTm;

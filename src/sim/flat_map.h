@@ -19,6 +19,21 @@
  *     containers iterate in layout order, which differs between
  *     libstdc++ and libc++ and would make checked-in counter baselines
  *     (bench/baselines.json) unreproducible.
+ *
+ * Reference sanitizer (docs/ARCHITECTURE.md Sec. 10): growth and
+ * backward-shift deletion relocate values, so a pointer returned by
+ * find() — or a reference held inside forEach — is invalidated by ANY
+ * mutation of the container. Holding one across a mutation has caused
+ * real protocol bugs (reduction handlers re-enter the memory system
+ * and reshuffle per-core U copies under the caller's feet). In debug
+ * builds (COMMTM_FLATMAP_SANITIZE, default 1 when NDEBUG is unset)
+ * find() therefore returns a generation-checked handle instead of a
+ * raw pointer: every dereference verifies the container has not been
+ * mutated since the lookup and traps at the *use site* otherwise, and
+ * forEach/forEachSorted trap when the callback mutates the container
+ * mid-walk. Release builds compile the checking out entirely — find()
+ * returns the raw pointer and no generation counter exists — so the
+ * hot path is untouched.
  */
 
 #ifndef COMMTM_SIM_FLAT_MAP_H
@@ -26,12 +41,37 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "sim/types.h"
 
+#ifndef COMMTM_FLATMAP_SANITIZE
+#ifndef NDEBUG
+#define COMMTM_FLATMAP_SANITIZE 1
+#else
+#define COMMTM_FLATMAP_SANITIZE 0
+#endif
+#endif
+
+#if COMMTM_FLATMAP_SANITIZE
+#include <cstdio>
+#include <cstdlib>
+#endif
+
 namespace commtm {
+
+#if COMMTM_FLATMAP_SANITIZE
+/** Sanitizer failure: stale handle dereference or mutation during
+ *  iteration. Aborts so gtest death tests can assert on the message. */
+[[noreturn]] inline void
+flatMapSanitizerTrap(const char *what)
+{
+    std::fprintf(stderr, "FlatLineMap sanitizer: %s\n", what);
+    std::abort();
+}
+#endif
 
 /**
  * Open-addressed hash map from line address to V with linear probing
@@ -46,24 +86,108 @@ class FlatLineMap
   public:
     FlatLineMap() = default;
 
+#if COMMTM_FLATMAP_SANITIZE
+    /**
+     * Generation-checked stand-in for the V* find() returns in Release
+     * builds. Call sites bind it with `auto` and use it exactly like
+     * the pointer (boolean test, *, ->); each dereference traps if the
+     * container has been mutated since the lookup, naming the hazard
+     * at the use site instead of silently reading relocated memory.
+     */
+    template <typename Ptr>
+    class BasicHandle
+    {
+      public:
+        BasicHandle() = default;
+        BasicHandle(Ptr value, const FlatLineMap *map, uint64_t gen)
+            : value_(value), map_(map), gen_(gen)
+        {
+        }
+
+        explicit operator bool() const { return value_ != nullptr; }
+
+        // Release call sites compare find() results to nullptr; the
+        // handle must accept the same comparisons (no validation: a
+        // presence test never dereferences).
+        bool
+        operator==(std::nullptr_t) const
+        {
+            return value_ == nullptr;
+        }
+        bool
+        operator!=(std::nullptr_t) const
+        {
+            return value_ != nullptr;
+        }
+
+        decltype(*Ptr{}) operator*() const
+        {
+            validate();
+            return *value_;
+        }
+
+        Ptr operator->() const
+        {
+            validate();
+            return value_;
+        }
+
+      private:
+        void
+        validate() const
+        {
+            if (!value_) {
+                flatMapSanitizerTrap(
+                    "dereference of an empty find() handle");
+            }
+            if (map_->gen_ != gen_) {
+                flatMapSanitizerTrap(
+                    "stale find() handle: the container was mutated "
+                    "after the lookup (values may have relocated)");
+            }
+        }
+
+        Ptr value_ = nullptr;
+        const FlatLineMap *map_ = nullptr;
+        uint64_t gen_ = 0;
+    };
+    using FindResult = BasicHandle<V *>;
+    using ConstFindResult = BasicHandle<const V *>;
+#else
+    using FindResult = V *;
+    using ConstFindResult = const V *;
+#endif
+
     size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
 
     bool contains(Addr key) const { return findSlot(key) != kNoSlot; }
 
-    /** Pointer to the value for @p key, or nullptr. */
-    V *
+    /** Pointer to the value for @p key, or nullptr (in sanitize builds,
+     *  a generation-checked handle with the same interface — bind with
+     *  `auto`). */
+    FindResult
     find(Addr key)
     {
         const size_t slot = findSlot(key);
+#if COMMTM_FLATMAP_SANITIZE
+        return FindResult(slot == kNoSlot ? nullptr : &values_[slot],
+                          this, gen_);
+#else
         return slot == kNoSlot ? nullptr : &values_[slot];
+#endif
     }
 
-    const V *
+    ConstFindResult
     find(Addr key) const
     {
         const size_t slot = findSlot(key);
+#if COMMTM_FLATMAP_SANITIZE
+        return ConstFindResult(
+            slot == kNoSlot ? nullptr : &values_[slot], this, gen_);
+#else
         return slot == kNoSlot ? nullptr : &values_[slot];
+#endif
     }
 
     /** Value for @p key, default-constructed and inserted if absent. */
@@ -82,6 +206,7 @@ class FlatLineMap
         keys_[slot] = key;
         values_[slot] = V{};
         size_++;
+        bumpGen();
         return values_[slot];
     }
 
@@ -112,6 +237,7 @@ class FlatLineMap
         keys_[hole] = kEmptyKey;
         values_[hole] = V{};
         size_--;
+        bumpGen();
         return true;
     }
 
@@ -123,6 +249,7 @@ class FlatLineMap
             return;
         std::fill(keys_.begin(), keys_.end(), kEmptyKey);
         size_ = 0;
+        bumpGen();
     }
 
     /** Visit entries in unspecified order: fn(Addr, V&). Must not be
@@ -132,9 +259,12 @@ class FlatLineMap
     void
     forEach(Fn &&fn) const
     {
+        const uint64_t it_gen = iterGen();
         for (size_t i = 0; i < keys_.size(); i++) {
-            if (keys_[i] != kEmptyKey)
+            if (keys_[i] != kEmptyKey) {
                 fn(keys_[i], values_[i]);
+                checkIterGen(it_gen);
+            }
         }
     }
 
@@ -161,8 +291,11 @@ class FlatLineMap
         }
         assert(n == size_);
         std::sort(sorted, sorted + n);
-        for (size_t i = 0; i < n; i++)
+        const uint64_t it_gen = iterGen();
+        for (size_t i = 0; i < n; i++) {
             fn(sorted[i], values_[findSlot(sorted[i])]);
+            checkIterGen(it_gen);
+        }
     }
 
     /** Entries' keys in ascending order (convenience for callers that
@@ -185,6 +318,26 @@ class FlatLineMap
     static constexpr size_t kNoSlot = ~size_t(0);
     static constexpr size_t kInitialCapacity = 16;
     static constexpr size_t kSortInline = 64;
+
+    // Sanitizer plumbing; all of it compiles to nothing in Release
+    // builds (no counter, empty inline helpers).
+#if COMMTM_FLATMAP_SANITIZE
+    void bumpGen() { gen_++; }
+    uint64_t iterGen() const { return gen_; }
+    void
+    checkIterGen(uint64_t gen) const
+    {
+        if (gen_ != gen) {
+            flatMapSanitizerTrap(
+                "container mutated during forEach/forEachSorted "
+                "(use sortedKeys() to mutate while walking)");
+        }
+    }
+#else
+    void bumpGen() {}
+    uint64_t iterGen() const { return 0; }
+    void checkIterGen(uint64_t) const {}
+#endif
 
     size_t capacity() const { return keys_.size(); }
 
@@ -213,6 +366,9 @@ class FlatLineMap
     void
     grow()
     {
+        // operator[] grows before probing, so even a lookup of an
+        // existing key can relocate every value.
+        bumpGen();
         const size_t new_cap =
             keys_.empty() ? kInitialCapacity : capacity() * 2;
         std::vector<Addr> old_keys = std::move(keys_);
@@ -235,6 +391,11 @@ class FlatLineMap
     std::vector<V> values_;
     size_t mask_ = 0;
     size_t size_ = 0;
+#if COMMTM_FLATMAP_SANITIZE
+    /** Mutation generation; find() handles snapshot it and compare on
+     *  every dereference. */
+    uint64_t gen_ = 0;
+#endif
 };
 
 /** Set of line addresses with deterministic (ascending) iteration. */

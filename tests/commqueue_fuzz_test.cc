@@ -60,6 +60,18 @@ fuzzConfig(uint64_t seed, uint32_t cores, ConflictDetection detection)
     c.l3SizeKB = 32; // 32 sets x 16 ways
     c.seed = seed;
     c.recordCommits = true;
+    // Invariant sweeps (Sec. 10): full density (every commit,
+    // abort, and drain-loop exit) up to the 128-sharer inline
+    // boundary; the spilled-sharer geometries keep periodic +
+    // end-of-run sweeps — a whole-machine sweep per access at
+    // 130-256 cores multiplies Debug fuzz time ~10x without adding
+    // invariant coverage.
+    c.checkInvariants = true;
+    if (cores <= 128) {
+        c.invariantOnTxEnd = true;
+        c.invariantOnDrain = true;
+    }
+
     return c;
 }
 
@@ -215,9 +227,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(
                            int(ConflictDetection::Eager),
                            int(ConflictDetection::Lazy))),
-    [](const auto &info) {
-        return "seed" + std::to_string(std::get<0>(info.param)) +
-               (std::get<1>(info.param) ==
+    [](const auto &params) {
+        return "seed" + std::to_string(std::get<0>(params.param)) +
+               (std::get<1>(params.param) ==
                         int(ConflictDetection::Eager)
                     ? "_eager"
                     : "_lazy");

@@ -123,6 +123,9 @@ TEST(Determinism, Eager256ThreadCounterIsSeedDeterministic)
 {
     MachineConfig cfg = MachineConfig::forCores(256);
     cfg.mode = SystemMode::BaselineHtm;
+    // Periodic invariant sweeps over the spilled-sharer geometry;
+    // observation-only, so both runs must still match bit-for-bit.
+    cfg.checkInvariants = true;
     const MicroResult a = runCounterMicro(cfg, 256, 4096);
     const MicroResult b = runCounterMicro(cfg, 256, 4096);
     ASSERT_TRUE(a.valid);
@@ -135,6 +138,7 @@ TEST(Determinism, Lazy256ThreadCounterIsSeedDeterministic)
     MachineConfig cfg = MachineConfig::forCores(256);
     cfg.mode = SystemMode::BaselineHtm;
     cfg.conflictDetection = ConflictDetection::Lazy;
+    cfg.checkInvariants = true;
     const MicroResult a = runCounterMicro(cfg, 256, 4096);
     const MicroResult b = runCounterMicro(cfg, 256, 4096);
     ASSERT_TRUE(a.valid);
@@ -148,6 +152,7 @@ TEST(Determinism, GatherHeavy256ThreadListIsSeedDeterministic)
     // and gathers/reductions fan out over >128 sharers.
     MachineConfig cfg = MachineConfig::forCores(256);
     cfg.mode = SystemMode::CommTm;
+    cfg.checkInvariants = true;
     const MicroResult a = runListMicro(cfg, 256, 8192, 50, 4);
     const MicroResult b = runListMicro(cfg, 256, 8192, 50, 4);
     ASSERT_TRUE(a.valid);
@@ -331,9 +336,10 @@ INSTANTIATE_TEST_SUITE_P(
     EagerAndLazy, OracleDeterminism,
     ::testing::Values(int(ConflictDetection::Eager),
                       int(ConflictDetection::Lazy)),
-    [](const auto &info) {
-        return info.param == int(ConflictDetection::Eager) ? "eager"
-                                                           : "lazy";
+    [](const auto &params) {
+        return params.param == int(ConflictDetection::Eager)
+                   ? "eager"
+                   : "lazy";
     });
 
 } // namespace

@@ -197,5 +197,51 @@ TEST(WriteBuffer, ForEachVisitsLinesInAddressOrder)
     EXPECT_TRUE(wb.empty());
 }
 
+#if COMMTM_FLATMAP_SANITIZE
+// Debug-only reference sanitizer (docs/ARCHITECTURE.md Sec. 10.4):
+// a find() handle held across any mutation, and a mutation during
+// forEach, must trap at the use site instead of silently reading a
+// relocated value. In Release these handles are raw pointers and
+// these tests compile out with the sanitizer itself.
+
+TEST(FlatMapSanitizerDeathTest, StaleHandleAfterInsertTraps)
+{
+    FlatLineMap<int> m;
+    m[10] = 1;
+    auto h = m.find(10);
+    ASSERT_TRUE(bool(h));
+    EXPECT_EQ(*h, 1);         // fresh handle: fine
+    m[11] = 2;                // may grow and relocate every value
+    EXPECT_DEATH((void)*h, "FlatLineMap sanitizer: stale");
+}
+
+TEST(FlatMapSanitizerDeathTest, StaleHandleAfterEraseTraps)
+{
+    FlatLineMap<int> m;
+    m[10] = 1;
+    m[77] = 2;
+    auto h = m.find(77);
+    m.erase(10);              // backward-shift may move key 77
+    EXPECT_DEATH((void)*h, "FlatLineMap sanitizer: stale");
+}
+
+TEST(FlatMapSanitizerDeathTest, EmptyHandleDerefTraps)
+{
+    FlatLineMap<int> m;
+    auto h = m.find(123);
+    EXPECT_FALSE(bool(h));
+    EXPECT_DEATH((void)*h, "FlatLineMap sanitizer: dereference");
+}
+
+TEST(FlatMapSanitizerDeathTest, MutationDuringForEachTraps)
+{
+    FlatLineMap<int> m;
+    m[1] = 1;
+    m[2] = 2;
+    EXPECT_DEATH(m.forEach([&](Addr, const int &) { m[99] = 9; }),
+                 "FlatLineMap sanitizer: container mutated during");
+}
+#endif // COMMTM_FLATMAP_SANITIZE
+
 } // namespace
 } // namespace commtm

@@ -155,8 +155,8 @@ INSTANTIATE_TEST_SUITE_P(AllModes, HashTableModes,
                          ::testing::Values(SystemMode::BaselineHtm,
                                            SystemMode::CommTmNoGather,
                                            SystemMode::CommTm),
-                         [](const auto &info) -> std::string {
-                             switch (info.param) {
+                         [](const auto &modes) -> std::string {
+                             switch (modes.param) {
                                case SystemMode::BaselineHtm:
                                  return "Baseline";
                                case SystemMode::CommTmNoGather:

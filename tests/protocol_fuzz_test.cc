@@ -53,6 +53,18 @@ fuzzConfig(uint64_t seed, uint32_t cores)
     c.l3SizeKB = 32; // 32 sets x 16 ways
     c.seed = seed;
     c.recordCommits = true;
+    // Invariant sweeps (Sec. 10): full density (every commit,
+    // abort, and drain-loop exit) up to the 128-sharer inline
+    // boundary; the spilled-sharer geometries keep periodic +
+    // end-of-run sweeps — a whole-machine sweep per access at
+    // 130-256 cores multiplies Debug fuzz time ~10x without adding
+    // invariant coverage.
+    c.checkInvariants = true;
+    if (cores <= 128) {
+        c.invariantOnTxEnd = true;
+        c.invariantOnDrain = true;
+    }
+
     return c;
 }
 
