@@ -191,7 +191,11 @@ HtmManager::abortAttempt(CoreId core, AbortCause cause, Rng &rng)
     tx.active = false;
     tx.doomed = false;
     tx.attempts++;
-    // Randomized exponential backoff avoids livelock pathologies.
+    // Randomized exponential backoff avoids livelock pathologies. The
+    // returned stall is advanced in one step by txRun, whose yield
+    // registers a single far-future wakeup on the scheduler's ready
+    // heap: a core parked here costs the scheduler nothing until its
+    // backoff expires (rt/machine.cc, the wakeup-list loop).
     const uint32_t exp =
         std::min(tx.attempts, cfg_.backoffMaxExp);
     const Cycle window = cfg_.backoffBase << exp;

@@ -45,6 +45,11 @@ class CacheArray
     {
         assert(ways_ > 0 && sets_ > 0);
         assert(num_lines % ways == 0);
+        // Every Table I geometry has a power-of-two set count, and the
+        // set index sits on the L1-lookup path of every simulated
+        // access: replace the 64-bit modulo with a mask when possible
+        // (identical index, so placement and behavior do not change).
+        setMask_ = (sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0;
     }
 
     uint32_t numSets() const { return sets_; }
@@ -220,14 +225,23 @@ class CacheArray
     }
 
   private:
+    /** Set index of @p line: a mask for power-of-two set counts (the
+     *  common case), the general modulo otherwise. */
+    size_t
+    setIndex(Addr line) const
+    {
+        return setMask_ ? size_t(line & setMask_)
+                        : size_t(line % sets_);
+    }
+
     /** The set holding @p line, or nullptr if never filled. */
-    Entry *setBase(Addr line) { return setStore_[line % sets_].get(); }
+    Entry *setBase(Addr line) { return setStore_[setIndex(line)].get(); }
 
     /** The set holding @p line, allocated (all-invalid) on first use. */
     Entry *
     materialize(Addr line)
     {
-        auto &set = setStore_[line % sets_];
+        auto &set = setStore_[setIndex(line)];
         if (!set)
             set = std::make_unique<Entry[]>(ways_);
         return set.get();
@@ -244,6 +258,8 @@ class CacheArray
 
     uint32_t ways_;
     uint32_t sets_;
+    /** sets_ - 1 when sets_ is a power of two, 0 otherwise. */
+    Addr setMask_ = 0;
     uint64_t lruClock_ = 0;
     /** One lazily-allocated array of @c ways_ entries per set. */
     std::vector<std::unique_ptr<Entry[]>> setStore_;

@@ -401,9 +401,12 @@ MemorySystem::battle(const Access &req, CoreId victim, Addr line,
 // ---------------------------------------------------------------------
 
 void
-MemorySystem::markSpec(const Access &req, Addr line)
+MemorySystem::markSpec(const Access &req, Addr line, PrivLine *e1)
 {
-    PrivLine *e1 = findL1(req.core, line);
+    if (e1)
+        assert(e1 == findL1(req.core, line));
+    else
+        e1 = findL1(req.core, line);
     COMMTM_CHECK(e1,
                  "speculative access must leave the line in the L1: "
                  "core=%u op=%d label=%d line=0x%llx l2=%s dir=%s "
@@ -1264,7 +1267,7 @@ MemorySystem::access(const Access &req)
             }
             stats_.l1Hits++;
             if (req.isTx && !req.handler)
-                markSpec(req, line);
+                markSpec(req, line, e1);
             return res;
         }
     }

@@ -288,8 +288,11 @@ class MemorySystem
     void reserveWayForU(CoreId core, Addr line, Cycle &lat);
     /** Drop (core, line) from L1+L2 (invalidations, reductions). */
     void dropPriv(CoreId core, Addr line);
-    /** Mark speculative bits for a transactional access. */
-    void markSpec(const Access &req, Addr line);
+    /** Mark speculative bits for a transactional access. Pass the
+     *  line's L1 entry when the caller already holds it (the L1-hit
+     *  fast path); markSpec re-finds it otherwise. */
+    void markSpec(const Access &req, Addr line,
+                  PrivLine *e1 = nullptr);
 
     // Evictions.
     void onEvictL1(CoreId core, PrivLine &victim);

@@ -1,7 +1,8 @@
 /**
  * @file
  * Machine implementation: thread creation, the deterministic
- * smallest-next-cycle scheduler loop, barriers, txRun's
+ * smallest-next-cycle scheduler loop (event-driven wakeup list with a
+ * sampled linear-scan cross-check), barriers, txRun's
  * begin/commit/backoff-retry driver, and stats collection.
  */
 
@@ -12,7 +13,20 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/check.h"
+
 namespace commtm {
+
+/** Default reference-scheduler cross-check cadence when the config
+ *  leaves schedCrossCheckEvery at 0: sampled in Debug builds (dense
+ *  enough that every fuzz/determinism run exercises the comparison,
+ *  sparse enough that Debug fuzz stays linear in thread count), off in
+ *  Release. */
+#ifndef NDEBUG
+static constexpr uint32_t kDefaultCrossCheckEvery = 1024;
+#else
+static constexpr uint32_t kDefaultCrossCheckEvery = 0;
+#endif
 
 Machine::Machine(MachineConfig cfg)
     : cfg_(cfg), rng_(cfg.seed), labels_(cfg.hwLabels)
@@ -55,6 +69,13 @@ Machine::Machine(MachineConfig cfg)
         if (cfg_.invariantOnDrain)
             mem_->setInvariantChecker(invariants_.get());
     }
+    // COMMTM_SCHED_CROSSCHECK=<n> overrides the cross-check cadence
+    // for any run (n resumes per reference-scan comparison; 0 off).
+    crossCheckEvery_ = cfg_.schedCrossCheckEvery
+                           ? cfg_.schedCrossCheckEvery
+                           : kDefaultCrossCheckEvery;
+    if (const char *env = std::getenv("COMMTM_SCHED_CROSSCHECK"))
+        crossCheckEvery_ = uint32_t(std::strtoul(env, nullptr, 10));
 }
 
 Machine::~Machine() = default;
@@ -91,17 +112,94 @@ Machine::liveThreads() const
     return live;
 }
 
-Cycle
-Machine::othersMin(const ThreadContext *self) const
+void
+Machine::readyPush(ThreadContext *t)
 {
-    Cycle min = kInfinity;
+    assert(!t->finished_ && !t->blocked_);
+    const ReadyEntry entry{t->nextCycle_, t->core_, t};
+    size_t i = ready_.size();
+    ready_.push_back(entry);
+    while (i > 0) {
+        const size_t parent = (i - 1) / 2;
+        if (!readyBefore(entry, ready_[parent]))
+            break;
+        ready_[i] = ready_[parent];
+        i = parent;
+    }
+    ready_[i] = entry;
+}
+
+ThreadContext *
+Machine::readyPop()
+{
+    if (ready_.empty())
+        return nullptr;
+    ThreadContext *top = ready_.front().ctx;
+    const ReadyEntry last = ready_.back();
+    ready_.pop_back();
+    const size_t n = ready_.size();
+    if (n > 0) {
+        size_t i = 0;
+        for (;;) {
+            size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            const size_t right = child + 1;
+            if (right < n && readyBefore(ready_[right], ready_[child]))
+                child = right;
+            if (!readyBefore(ready_[child], last))
+                break;
+            ready_[i] = ready_[child];
+            i = child;
+        }
+        ready_[i] = last;
+    }
+    return top;
+}
+
+Cycle
+Machine::readyPeekCycle() const
+{
+    return ready_.empty() ? kInfinity : ready_.front().cycle;
+}
+
+void
+Machine::schedulerCrossCheck(const ThreadContext *picked,
+                             Cycle second) const
+{
+    // Reference scheduler: the pre-wakeup-list fused linear scan
+    // (winner = first thread with a strictly smaller key in creation
+    // order, runner-up = smallest key among the rest). The heap must
+    // agree on both; sampling keeps the comparison from re-making
+    // Debug runs quadratic in thread count the way the old per-resume
+    // othersMin assert did.
+    const ThreadContext *ref = nullptr;
+    Cycle refSecond = kInfinity;
     for (const auto &t : threads_) {
         const ThreadContext *c = t.ctx.get();
-        if (c == self || c->finished_ || c->blocked_)
+        if (c->finished_ || c->blocked_)
             continue;
-        min = std::min(min, c->nextCycle_);
+        if (!ref) {
+            ref = c;
+        } else if (c->nextCycle_ < ref->nextCycle_) {
+            refSecond = ref->nextCycle_;
+            ref = c;
+        } else if (c->nextCycle_ < refSecond) {
+            refSecond = c->nextCycle_;
+        }
     }
-    return min;
+    COMMTM_CHECK(ref == picked,
+                 "scheduler divergence: wakeup list resumed core %u "
+                 "@%llu; the reference scan picks core %d @%llu",
+                 picked->core_,
+                 (unsigned long long)picked->nextCycle_,
+                 ref ? int(ref->core_) : -1,
+                 (unsigned long long)(ref ? ref->nextCycle_ : 0));
+    COMMTM_CHECK(refSecond == second,
+                 "scheduler divergence: wakeup-list runner-up key "
+                 "%llu; the reference scan says %llu",
+                 (unsigned long long)second,
+                 (unsigned long long)refSecond);
 }
 
 void
@@ -109,34 +207,33 @@ Machine::run()
 {
     assert(!threads_.empty());
     running_ = true;
+    // Seed the wakeup list with every runnable thread. (A second run()
+    // after all threads finished pops nothing and exits through the
+    // deadlock assert's liveThreads() == 0 arm, as before.)
+    ready_.clear();
+    ready_.reserve(threads_.size());
+    for (const auto &t : threads_) {
+        ThreadContext *c = t.ctx.get();
+        if (!c->finished_ && !c->blocked_)
+            readyPush(c);
+    }
+    crossCheckCountdown_ = crossCheckEvery_;
     for (;;) {
         // Resume the runnable thread with the smallest next-ready cycle
-        // (ties broken by core id for determinism). One fused scan
-        // finds both the winner and the runner-up cycle: the runner-up
-        // is exactly othersMin(best), and a second O(threads) pass per
-        // resume was the single largest host-time cost of 128-thread
-        // runs.
-        ThreadContext *best = nullptr;
-        Cycle second = kInfinity;
-        for (const auto &t : threads_) {
-            ThreadContext *c = t.ctx.get();
-            if (c->finished_ || c->blocked_)
-                continue;
-            if (!best) {
-                best = c;
-            } else if (c->nextCycle_ < best->nextCycle_) {
-                second = best->nextCycle_;
-                best = c;
-            } else if (c->nextCycle_ < second) {
-                second = c->nextCycle_;
-            }
-        }
+        // (ties broken by core id for determinism): the heap minimum.
+        // The runner-up key — what the old fused scan called `second`
+        // — is a peek at the new minimum after the pop.
+        ThreadContext *best = readyPop();
         if (!best) {
             assert(liveThreads() == 0 &&
                    "deadlock: all live threads blocked on a barrier");
             break;
         }
-        assert(second == othersMin(best));
+        const Cycle second = readyPeekCycle();
+        if (crossCheckEvery_ != 0 && --crossCheckCountdown_ == 0) {
+            crossCheckCountdown_ = crossCheckEvery_;
+            schedulerCrossCheck(best, second);
+        }
         // Scheduler boundaries are consistent sync points: no access()
         // frame or handler is in flight between fiber resumes.
         if (invariants_ && cfg_.invariantPeriod &&
@@ -148,11 +245,20 @@ Machine::run()
         yieldThreshold_ = second;
         if (yieldThreshold_ != kInfinity)
             yieldThreshold_ += cfg_.schedQuantum;
+        current_ = best;
         best->fiber_->resume();
+        current_ = nullptr;
         if (best->fiber_->finished()) {
             best->finished_ = true;
             // A finishing thread may make a pending barrier releasable.
             checkBarrierRelease();
+        } else if (!best->blocked_) {
+            // The fiber yielded past its quantum (compute, memory
+            // latency, or an abort-backoff stall): re-register its
+            // wakeup at the advanced next-ready cycle. A blocked
+            // thread stays off the list until the barrier release
+            // re-registers it.
+            readyPush(best);
         }
     }
     running_ = false;
@@ -191,7 +297,11 @@ Machine::checkBarrierRelease()
     }
     if (pending > 0)
         return;
-    // Everyone alive has arrived: release.
+    // Everyone alive has arrived: release. Each released thread
+    // re-registers its wakeup at the release cycle — except the
+    // currently-running one (the last arriver releasing itself from
+    // inside barrierArrive), which is off the list while it runs and
+    // re-queues itself when it next yields.
     const Cycle release = barrier_.maxCycle + 2;
     barrier_.epoch++;
     barrier_.waiting = 0;
@@ -200,6 +310,8 @@ Machine::checkBarrierRelease()
         if (t.ctx->blocked_) {
             t.ctx->blocked_ = false;
             t.ctx->nextCycle_ = release;
+            if (t.ctx.get() != current_)
+                readyPush(t.ctx.get());
         }
     }
 }

@@ -5,9 +5,13 @@
  * Machine builds the simulated chip (memory system + HTM) and runs the
  * simulated threads, each on a fiber, always resuming the thread with
  * the smallest next-ready cycle (within a small scheduling quantum, like
- * zsim's bound phases). ThreadContext is the "ISA" workloads program
- * against: conventional and labeled loads/stores, load_gather, txRun
- * (tx_begin/tx_end with retry and backoff), compute, and barriers.
+ * zsim's bound phases). Runnable threads live on an event-driven wakeup
+ * list — a binary min-heap keyed by (next-ready cycle, core id) — so a
+ * resume costs O(log threads) even when most fibers are parked on
+ * multi-thousand-cycle abort backoffs (docs/ARCHITECTURE.md Sec. 2.2).
+ * ThreadContext is the "ISA" workloads program against: conventional
+ * and labeled loads/stores, load_gather, txRun (tx_begin/tx_end with
+ * retry and backoff), compute, and barriers.
  */
 
 #ifndef COMMTM_RT_MACHINE_H
@@ -235,8 +239,37 @@ class Machine
     static constexpr Cycle kInfinity =
         std::numeric_limits<Cycle>::max();
 
-    /** Smallest next-ready cycle among runnable threads != @p self. */
-    Cycle othersMin(const ThreadContext *self) const;
+    /** One wakeup-list entry. The (cycle, core) key is copied inline
+     *  so heap sifts compare contiguous memory instead of chasing
+     *  ThreadContext pointers spread across the heap-allocated
+     *  contexts — the sift comparisons are the hot half of a resume. */
+    struct ReadyEntry {
+        Cycle cycle;
+        CoreId core;
+        ThreadContext *ctx;
+    };
+
+    /** Wakeup-list ordering: earlier next-ready cycle first, core id
+     *  breaking ties (the same total order the reference scan's
+     *  first-strictly-smaller walk over creation order yields, since
+     *  threadCore is the identity mapping). */
+    static bool
+    readyBefore(const ReadyEntry &a, const ReadyEntry &b)
+    {
+        return a.cycle != b.cycle ? a.cycle < b.cycle : a.core < b.core;
+    }
+
+    /** Register a wakeup: sift @p t into the ready heap keyed by its
+     *  current nextCycle_. The key must not change while queued. */
+    void readyPush(ThreadContext *t);
+    /** Pop the (cycle, core)-smallest runnable thread, or nullptr. */
+    ThreadContext *readyPop();
+    /** Key of the heap minimum, or kInfinity when empty. */
+    Cycle readyPeekCycle() const;
+    /** Reference scheduler: re-pick via the pre-wakeup-list linear
+     *  scan and COMMTM_CHECK it agrees with the heap's choice. */
+    void schedulerCrossCheck(const ThreadContext *picked,
+                             Cycle second) const;
 
     void barrierArrive(ThreadContext &t);
     void checkBarrierRelease();
@@ -271,6 +304,23 @@ class Machine
     };
     std::vector<SimThread> threads_;
     bool running_ = false;
+
+    /** Event-driven wakeup list: a binary min-heap (readyBefore order)
+     *  of every runnable thread except the one currently on its fiber.
+     *  advance() yields re-register through run(); barrier releases
+     *  and finishes register through checkBarrierRelease(). Blocked
+     *  and finished threads are simply absent, so parked fibers cost
+     *  nothing per resume. */
+    std::vector<ReadyEntry> ready_;
+    /** The thread currently executing on its fiber (popped off the
+     *  ready heap), or nullptr between resumes. A barrier release must
+     *  not re-queue it: it is still running and re-queues itself when
+     *  it next yields. */
+    ThreadContext *current_ = nullptr;
+    /** Cross-check cadence resolved from MachineConfig and the
+     *  COMMTM_SCHED_CROSSCHECK environment variable (0 = never). */
+    uint32_t crossCheckEvery_ = 0;
+    uint32_t crossCheckCountdown_ = 0;
 
     /** Yield threshold for the running thread (scheduling quantum). */
     Cycle yieldThreshold_ = kInfinity;

@@ -143,6 +143,15 @@ struct MachineConfig {
      *  bound phase; see docs/ARCHITECTURE.md Sec. 2.1). */
     Cycle schedQuantum = 100;
 
+    /** Cross-check the event-driven wakeup-list scheduler against the
+     *  reference linear scan every N resumes (a Release-alive
+     *  COMMTM_CHECK; docs/ARCHITECTURE.md Sec. 2.2). 0 selects the
+     *  default cadence: every 1024 resumes in Debug builds, never in
+     *  Release. The scheduler stress tests set 1 to verify every
+     *  single pick; the COMMTM_SCHED_CROSSCHECK environment variable
+     *  overrides either setting for any run. */
+    uint32_t schedCrossCheckEvery = 0;
+
     uint64_t seed = 0x5eed;
 
     /** Tile that hosts core @p c (cores striped across tiles). */

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Advisory host-wall timer for the scheduler-bound benchmark sweeps.
+
+Times the 128-/256-thread rows of the sweeps the wakeup-list
+scheduler targets (docs/ARCHITECTURE.md Sec. 2.2) and writes a small
+JSON report. CI uploads the report as an artifact next to the
+baseline check so host-speed trends are visible over time; nothing
+gates on it — shared runners are far too noisy for a blocking wall
+(docs/BENCHMARKS.md, "Host wall clock").
+
+Usage: tools/host_wall.py [--build-dir build] [--runs 3] [--out -]
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+# (binary, google-benchmark filter): the rows that are scheduler- and
+# protocol-bound at high thread counts. Row names end in
+# "/iterations:1", so the filter needs the trailing slash.
+SWEEPS = [
+    ("fig09_counter", "/(128|256)/"),
+    ("fig12_list", "/(128|256)/"),
+]
+
+
+def time_once(binary, bench_filter):
+    """One timed run; returns wall seconds, or None on failure."""
+    start = time.monotonic()
+    proc = subprocess.run(
+        [binary, "--benchmark_filter=" + bench_filter],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    elapsed = time.monotonic() - start
+    return elapsed if proc.returncode == 0 else None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--runs", type=int, default=3,
+                    help="timed runs per sweep; the minimum is "
+                         "reported (least-noise estimator)")
+    ap.add_argument("--out", default="-",
+                    help="output path, or - for stdout")
+    args = ap.parse_args()
+
+    report = {
+        "host": platform.platform(),
+        "machine": platform.machine(),
+        "runs": args.runs,
+        "sweeps": {},
+    }
+    for binary, bench_filter in SWEEPS:
+        path = os.path.join(args.build_dir, binary)
+        times = []
+        for _ in range(args.runs):
+            t = time_once(path, bench_filter)
+            if t is None:
+                break
+            times.append(t)
+        report["sweeps"][binary] = {
+            "filter": bench_filter,
+            "seconds": round(min(times), 4) if times else None,
+            "all_runs": [round(t, 4) for t in times],
+        }
+
+    text = json.dumps(report, indent=2) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print("wrote %s" % args.out, file=sys.stderr)
+    # Advisory by design: missing binaries or failed runs show up as
+    # null in the report, never as a red CI job.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
