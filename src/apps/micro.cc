@@ -16,7 +16,15 @@
 #include "lib/linked_list.h"
 #include "lib/ordered_put.h"
 #include "lib/topk.h"
+#include "rt/frontend.h"
 #include "rt/machine.h"
+
+// Every runner builds its workload as a ClosedLoopFrontend
+// (rt/frontend.h) and attaches it to the machine: the same interface
+// the trace ReplayFrontend implements, so captured versions of these
+// workloads are drop-in substitutes (docs/ARCHITECTURE.md Sec. 11).
+// Attach order equals the old direct addThread order, so behavior and
+// the exact-counter baselines are unchanged.
 
 namespace commtm {
 
@@ -27,14 +35,16 @@ runCounterMicro(const MachineConfig &cfg, uint32_t threads,
     Machine m(cfg);
     const Label add = CommCounter::defineLabel(m);
     CommCounter counter(m, add);
+    ClosedLoopFrontend fe;
     for (uint32_t t = 0; t < threads; t++) {
         const uint64_t ops = total_ops / threads +
                              (t < total_ops % threads ? 1 : 0);
-        m.addThread([&counter, ops](ThreadContext &ctx) {
+        fe.add([&counter, ops](ThreadContext &ctx) {
             for (uint64_t i = 0; i < ops; i++)
                 counter.add(ctx, 1);
         });
     }
+    fe.attach(m);
     m.run();
     MicroResult r;
     r.stats = m.stats();
@@ -61,10 +71,11 @@ runRefcountMicro(const MachineConfig &cfg, uint32_t threads,
     // Final held counts per thread, tallied host-side for validation.
     std::vector<int64_t> held_total(threads, 0);
 
+    ClosedLoopFrontend fe;
     for (uint32_t t = 0; t < threads; t++) {
         const uint64_t ops = total_ops / threads +
                              (t < total_ops % threads ? 1 : 0);
-        m.addThread([&, t, ops](ThreadContext &ctx) {
+        fe.add([&, t, ops](ThreadContext &ctx) {
             std::vector<int> held(objects, kInitialRefs);
             Rng &rng = ctx.rng();
             for (uint64_t i = 0; i < ops; i++) {
@@ -90,6 +101,7 @@ runRefcountMicro(const MachineConfig &cfg, uint32_t threads,
                 held_total[t] += held[o];
         });
     }
+    fe.attach(m);
     m.run();
 
     MicroResult r;
@@ -113,10 +125,11 @@ runListMicro(const MachineConfig &cfg, uint32_t threads,
                   cfg.mode == SystemMode::BaselineHtm);
     std::vector<int64_t> net(threads, 0); // enqueues minus dequeues
 
+    ClosedLoopFrontend fe;
     for (uint32_t t = 0; t < threads; t++) {
         const uint64_t ops = total_ops / threads +
                              (t < total_ops % threads ? 1 : 0);
-        m.addThread([&, t, ops](ThreadContext &ctx) {
+        fe.add([&, t, ops](ThreadContext &ctx) {
             Rng &rng = ctx.rng();
             for (uint32_t i = 0; i < prefill_per_thread; i++) {
                 list.enqueue(ctx, (uint64_t(t) << 32) | (1u << 30) | i);
@@ -135,6 +148,7 @@ runListMicro(const MachineConfig &cfg, uint32_t threads,
             }
         });
     }
+    fe.attach(m);
     m.run();
 
     MicroResult r;
@@ -155,10 +169,11 @@ runOputMicro(const MachineConfig &cfg, uint32_t threads,
     OrderedPut cell(m, oput_label);
     std::vector<int64_t> local_min(threads, OrderedPut::kEmptyKey);
 
+    ClosedLoopFrontend fe;
     for (uint32_t t = 0; t < threads; t++) {
         const uint64_t ops = total_ops / threads +
                              (t < total_ops % threads ? 1 : 0);
-        m.addThread([&, t, ops](ThreadContext &ctx) {
+        fe.add([&, t, ops](ThreadContext &ctx) {
             Rng &rng = ctx.rng();
             for (uint64_t i = 0; i < ops; i++) {
                 // Random 64-bit keys (kept positive for int64 compare).
@@ -169,6 +184,7 @@ runOputMicro(const MachineConfig &cfg, uint32_t threads,
             }
         });
     }
+    fe.attach(m);
     m.run();
 
     MicroResult r;
@@ -193,10 +209,11 @@ runTopkMicro(const MachineConfig &cfg, uint32_t threads,
     TopK set(m, topk_label, k);
     std::vector<std::vector<int64_t>> inserted(threads);
 
+    ClosedLoopFrontend fe;
     for (uint32_t t = 0; t < threads; t++) {
         const uint64_t ops = total_ops / threads +
                              (t < total_ops % threads ? 1 : 0);
-        m.addThread([&, t, ops](ThreadContext &ctx) {
+        fe.add([&, t, ops](ThreadContext &ctx) {
             Rng &rng = ctx.rng();
             for (uint64_t i = 0; i < ops; i++) {
                 const int64_t key = int64_t(rng.next() >> 1);
@@ -206,6 +223,7 @@ runTopkMicro(const MachineConfig &cfg, uint32_t threads,
             }
         });
     }
+    fe.attach(m);
     m.run();
 
     MicroResult r;

@@ -39,6 +39,7 @@ class CommCounter
     void
     add(ThreadContext &ctx, int64_t delta)
     {
+        ctx.annotate(kAnnotCounterAdd, uint64_t(delta));
         ctx.txRun([&] {
             const int64_t local = ctx.readLabeled<int64_t>(addr_, label_);
             ctx.writeLabeled<int64_t>(addr_, label_, local + delta);

@@ -114,6 +114,7 @@ void
 CommList::enqueue(ThreadContext &ctx, uint64_t value)
 {
     const Addr node = allocNode();
+    ctx.annotate(kAnnotListEnqueue, value);
     ctx.txRun([&] {
         ctx.write<uint64_t>(node + kValueOff, value);
         ctx.write<Addr>(node + kNextOff, 0);
@@ -135,6 +136,7 @@ bool
 CommList::dequeue(ThreadContext &ctx, uint64_t *out)
 {
     bool ok = false;
+    ctx.annotate(kAnnotListDequeue, 0);
     ctx.txRun([&] {
         ok = false;
         Addr head = ctx.readLabeled<Addr>(head_, label_);

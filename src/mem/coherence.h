@@ -319,7 +319,6 @@ class MemorySystem
     Timestamp hookTxTs(CoreId c) const;
     bool hookSpecModified(CoreId c, Addr line) const;
     void hookRemoteAbort(CoreId victim, AbortCause cause);
-    void hookNoteSpecLine(CoreId c, Addr line, SpecKind kind);
 
     const MachineConfig &cfg_;
     SimMemory &memory_;

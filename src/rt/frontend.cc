@@ -1,0 +1,20 @@
+/**
+ * @file
+ * ClosedLoopFrontend implementation: register each body with the
+ * machine in thread order.
+ */
+
+#include "rt/frontend.h"
+
+#include "rt/machine.h"
+
+namespace commtm {
+
+void
+ClosedLoopFrontend::attach(Machine &machine)
+{
+    for (const Body &body : bodies_)
+        machine.addThread(body);
+}
+
+} // namespace commtm

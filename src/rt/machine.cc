@@ -48,6 +48,20 @@ Machine::Machine(MachineConfig cfg)
         commitLog_ = std::make_unique<CommitLog>(cfg_.numCores);
         htm_->setCommitLog(commitLog_.get());
     }
+    // COMMTM_CAPTURE_TRACE forces observation-only trace capture on
+    // for any run (the CI baseline legs use it to prove the wall is
+    // bit-identical with the hooks live). Any value enables capture;
+    // a value containing '/' or '.' is additionally taken as a path
+    // that run() serializes the capture to (tools/trace_info.py
+    // consumes it).
+    const char *trace_env = std::getenv("COMMTM_CAPTURE_TRACE");
+    if (cfg_.captureTrace || trace_env) {
+        trace_ = std::make_unique<TraceWriter>(cfg_);
+        if (trace_env && (std::strchr(trace_env, '/') ||
+                          std::strchr(trace_env, '.'))) {
+            traceFile_ = trace_env;
+        }
+    }
     // COMMTM_CHECK_INVARIANTS forces observation-only invariant sweeps
     // on for any run: any value enables the periodic sweeps, "commit"
     // adds transaction-boundary sweeps, "drain" adds both those and
@@ -91,6 +105,7 @@ Machine::addThread(ThreadFn fn)
     SimThread st;
     st.ctx = std::make_unique<ThreadContext>(
         *this, core, cfg_.seed ^ (0x1234567ull * (core + 1)));
+    st.ctx->trace_ = trace_.get();
     ThreadContext *ctx = st.ctx.get();
     st.fiber = std::make_unique<Fiber>([this, ctx, fn = std::move(fn)]() {
         fn(*ctx);
@@ -266,6 +281,18 @@ Machine::run()
     // when it was shorter than invariantPeriod.
     if (invariants_)
         invariants_->check(InvariantChecker::SyncPoint::Manual);
+    // COMMTM_CAPTURE_TRACE=<path>: persist the capture (re-written at
+    // the end of every run; the last machine/run wins).
+    if (trace_ && !traceFile_.empty()) {
+        const std::vector<uint8_t> bytes = trace_->serialize();
+        if (std::FILE *f = std::fopen(traceFile_.c_str(), "wb")) {
+            std::fwrite(bytes.data(), 1, bytes.size(), f);
+            std::fclose(f);
+        } else {
+            std::fprintf(stderr, "cannot write trace file %s\n",
+                         traceFile_.c_str());
+        }
+    }
 }
 
 void
@@ -342,6 +369,10 @@ Machine::resetStats()
 void
 ThreadContext::barrier()
 {
+    // Barriers are forbidden inside transactions (asserted by
+    // barrierArrive), so no pending-abort check is needed here.
+    if (trace_)
+        trace_->noteBarrier(core_);
     machine_.barrierArrive(*this);
 }
 

@@ -34,6 +34,7 @@
 #include "sim/rng.h"
 #include "sim/stats.h"
 #include "sim/types.h"
+#include "trace/trace_writer.h"
 
 namespace commtm {
 
@@ -63,6 +64,22 @@ class ThreadContext
     /** Conventional load/store of a small scalar. */
     template <typename T> T read(Addr addr);
     template <typename T> void write(Addr addr, const T &value);
+
+    /**
+     * Untyped single-issue access paths: the typed templates (and the
+     * per-line chunks of readBytes/writeBytes) reduce to these, and
+     * the trace ReplayFrontend re-issues captured records through
+     * them. An access must not straddle a cache line (the templates
+     * guarantee this for scalars; readBytes chunks at line bounds).
+     */
+    void readUntyped(Addr addr, void *out, size_t size);
+    void writeUntyped(Addr addr, const void *src, size_t size);
+    void readLabeledUntyped(Addr addr, Label label, void *out,
+                            size_t size);
+    void writeLabeledUntyped(Addr addr, Label label, const void *src,
+                             size_t size);
+    void readGatherUntyped(Addr addr, Label label, void *out,
+                           size_t size);
 
     /** Block (vector-style) access: one memory operation per line
      *  touched. For bulk reads/writes of arrays (e.g., feature
@@ -112,6 +129,19 @@ class ThreadContext
             noteAbort(cause, false);
     }
 
+    /**
+     * Structure-op annotation: note a library-level operation (e.g.
+     * "counter add", trace_format.h codes) into the capture trace.
+     * Strictly observation-only — a no-op unless a trace is being
+     * captured, and never affects simulated behavior either way.
+     */
+    void
+    annotate(uint32_t code, uint64_t value)
+    {
+        if (trace_ && !txAbortPending_)
+            trace_->noteAnnotation(core_, code, value);
+    }
+
     /** Wait until every live simulated thread reaches the barrier. */
     void barrier();
 
@@ -150,6 +180,12 @@ class ThreadContext
     Machine &machine_;
     CoreId core_;
     Rng rng_;
+
+    /** Capture sink, or nullptr when tracing is off (the common case:
+     *  every hook below is then a single pointer test, the same
+     *  zero-cost discipline as commit recording). Wired by
+     *  Machine::addThread. */
+    TraceWriter *trace_ = nullptr;
 
     Fiber *fiber_ = nullptr;
     Cycle nextCycle_ = 0;
@@ -214,6 +250,11 @@ class Machine
     /** The invariant checker, or nullptr when checking is off (see
      *  MachineConfig::checkInvariants and COMMTM_CHECK_INVARIANTS). */
     InvariantChecker *invariantChecker() { return invariants_.get(); }
+
+    /** The trace writer, or nullptr when capture is off (see
+     *  MachineConfig::captureTrace and COMMTM_CAPTURE_TRACE). */
+    TraceWriter *traceWriter() { return trace_.get(); }
+    const TraceWriter *traceWriter() const { return trace_.get(); }
 
     using ThreadFn = std::function<void(ThreadContext &)>;
 
@@ -292,6 +333,10 @@ class Machine
     SimAllocator alloc_;
     MachineStats machineStats_;
     std::unique_ptr<CommitLog> commitLog_;
+    std::unique_ptr<TraceWriter> trace_;
+    /** When nonempty, run() writes the serialized capture here at the
+     *  end of every run (COMMTM_CAPTURE_TRACE=<path>). */
+    std::string traceFile_;
     std::unique_ptr<MemorySystem> mem_;
     std::unique_ptr<HtmManager> htm_;
     std::unique_ptr<InvariantChecker> invariants_;
@@ -387,6 +432,8 @@ ThreadContext::compute(uint64_t instrs)
     checkDoomed();
     if (txAbortPending_)
         return;
+    if (trace_)
+        trace_->noteCompute(core_, instrs);
     stats.instrs += instrs;
     advance(instrs);
 }
@@ -508,10 +555,9 @@ ThreadContext::readBytes(Addr addr, void *out, size_t size)
     while (size > 0) {
         const size_t chunk =
             std::min(size, size_t(kLineSize - lineOffset(addr)));
-        issue(addr, uint32_t(chunk), MemOp::Load, kNoLabel);
+        readUntyped(addr, dst, chunk);
         if (txAbortPending_)
             return; // buffer contents are garbage; caller must retry
-        functionalRead(addr, dst, chunk, false);
         dst += chunk;
         addr += chunk;
         size -= chunk;
@@ -525,10 +571,9 @@ ThreadContext::writeBytes(Addr addr, const void *src, size_t size)
     while (size > 0) {
         const size_t chunk =
             std::min(size, size_t(kLineSize - lineOffset(addr)));
-        issue(addr, uint32_t(chunk), MemOp::Store, kNoLabel);
+        writeUntyped(addr, from, chunk);
         if (txAbortPending_)
             return;
-        functionalWrite(addr, from, chunk, false);
         from += chunk;
         addr += chunk;
         size -= chunk;
@@ -539,17 +584,101 @@ ThreadContext::writeBytes(Addr addr, const void *src, size_t size)
 // with the old throw the functional half never ran either, and the
 // zero sentinel keeps pointer-chasing loops in non-yet-checked body
 // code terminating harmlessly until the body observes txAborted().
+//
+// Capture hooks record each op at the API level, before the issue
+// path resolves label demotion, gather fallback, or the lazy-mode
+// store conversion: a replay re-resolves those through the machine it
+// runs on. Ops issued while an abort is already pending are true
+// no-ops and are not recorded; ops of an attempt that later aborts
+// are buffered and discarded by the writer (trace/trace_writer.h), so
+// the captured stream holds exactly the committed attempts.
+
+inline void
+ThreadContext::readUntyped(Addr addr, void *out, size_t size)
+{
+    assert(lineOffset(addr) + size <= kLineSize);
+    if (trace_ && !txAbortPending_)
+        trace_->noteLoad(core_, addr, uint32_t(size));
+    issue(addr, uint32_t(size), MemOp::Load, kNoLabel);
+    if (txAbortPending_)
+        return;
+    functionalRead(addr, out, size, false);
+}
+
+inline void
+ThreadContext::writeUntyped(Addr addr, const void *src, size_t size)
+{
+    assert(lineOffset(addr) + size <= kLineSize);
+    if (trace_ && !txAbortPending_)
+        trace_->noteStore(core_, addr, uint32_t(size), src);
+    issue(addr, uint32_t(size), MemOp::Store, kNoLabel);
+    if (txAbortPending_)
+        return;
+    functionalWrite(addr, src, size, false);
+}
+
+inline void
+ThreadContext::readLabeledUntyped(Addr addr, Label label, void *out,
+                                  size_t size)
+{
+    assert(lineOffset(addr) + size <= kLineSize);
+    if (trace_ && !txAbortPending_)
+        trace_->noteLabeledLoad(core_, addr, uint32_t(size), label);
+    const MemOp op = effectiveOp(MemOp::LabeledLoad, label);
+    issue(addr, uint32_t(size), op, label);
+    if (txAbortPending_)
+        return;
+    functionalRead(addr, out, size, op == MemOp::LabeledLoad);
+    if (op == MemOp::LabeledLoad) {
+        noteLabeledOp(CommitOpKind::LabeledLoad, addr, label, nullptr,
+                      uint32_t(size));
+    }
+}
+
+inline void
+ThreadContext::writeLabeledUntyped(Addr addr, Label label,
+                                   const void *src, size_t size)
+{
+    assert(lineOffset(addr) + size <= kLineSize);
+    if (trace_ && !txAbortPending_)
+        trace_->noteLabeledStore(core_, addr, uint32_t(size), label,
+                                 src);
+    const MemOp op = effectiveOp(MemOp::LabeledStore, label);
+    issue(addr, uint32_t(size), op, label);
+    if (txAbortPending_)
+        return;
+    functionalWrite(addr, src, size, op == MemOp::LabeledStore);
+    if (op == MemOp::LabeledStore) {
+        noteLabeledOp(CommitOpKind::LabeledStore, addr, label, src,
+                      uint32_t(size));
+    }
+}
+
+inline void
+ThreadContext::readGatherUntyped(Addr addr, Label label, void *out,
+                                 size_t size)
+{
+    assert(lineOffset(addr) + size <= kLineSize);
+    if (trace_ && !txAbortPending_)
+        trace_->noteGather(core_, addr, uint32_t(size), label);
+    const MemOp op = effectiveOp(MemOp::Gather, label);
+    issue(addr, uint32_t(size), op, label);
+    if (txAbortPending_)
+        return;
+    functionalRead(addr, out, size, op == MemOp::Gather);
+    if (op == MemOp::Gather) {
+        noteLabeledOp(CommitOpKind::Gather, addr, label, nullptr,
+                      uint32_t(size));
+    }
+}
 
 template <typename T>
 T
 ThreadContext::read(Addr addr)
 {
     static_assert(std::is_trivially_copyable_v<T>);
-    issue(addr, sizeof(T), MemOp::Load, kNoLabel);
-    if (txAbortPending_)
-        return T{};
-    T value;
-    functionalRead(addr, &value, sizeof(T), false);
+    T value{};
+    readUntyped(addr, &value, sizeof(T));
     return value;
 }
 
@@ -558,10 +687,7 @@ void
 ThreadContext::write(Addr addr, const T &value)
 {
     static_assert(std::is_trivially_copyable_v<T>);
-    issue(addr, sizeof(T), MemOp::Store, kNoLabel);
-    if (txAbortPending_)
-        return;
-    functionalWrite(addr, &value, sizeof(T), false);
+    writeUntyped(addr, &value, sizeof(T));
 }
 
 template <typename T>
@@ -569,16 +695,8 @@ T
 ThreadContext::readLabeled(Addr addr, Label label)
 {
     static_assert(std::is_trivially_copyable_v<T>);
-    const MemOp op = effectiveOp(MemOp::LabeledLoad, label);
-    issue(addr, sizeof(T), op, label);
-    if (txAbortPending_)
-        return T{};
-    T value;
-    functionalRead(addr, &value, sizeof(T), op == MemOp::LabeledLoad);
-    if (op == MemOp::LabeledLoad) {
-        noteLabeledOp(CommitOpKind::LabeledLoad, addr, label, nullptr,
-                      sizeof(T));
-    }
+    T value{};
+    readLabeledUntyped(addr, label, &value, sizeof(T));
     return value;
 }
 
@@ -587,15 +705,7 @@ void
 ThreadContext::writeLabeled(Addr addr, Label label, const T &value)
 {
     static_assert(std::is_trivially_copyable_v<T>);
-    const MemOp op = effectiveOp(MemOp::LabeledStore, label);
-    issue(addr, sizeof(T), op, label);
-    if (txAbortPending_)
-        return;
-    functionalWrite(addr, &value, sizeof(T), op == MemOp::LabeledStore);
-    if (op == MemOp::LabeledStore) {
-        noteLabeledOp(CommitOpKind::LabeledStore, addr, label, &value,
-                      sizeof(T));
-    }
+    writeLabeledUntyped(addr, label, &value, sizeof(T));
 }
 
 template <typename T>
@@ -603,16 +713,8 @@ T
 ThreadContext::readGather(Addr addr, Label label)
 {
     static_assert(std::is_trivially_copyable_v<T>);
-    const MemOp op = effectiveOp(MemOp::Gather, label);
-    issue(addr, sizeof(T), op, label);
-    if (txAbortPending_)
-        return T{};
-    T value;
-    functionalRead(addr, &value, sizeof(T), op == MemOp::Gather);
-    if (op == MemOp::Gather) {
-        noteLabeledOp(CommitOpKind::Gather, addr, label, nullptr,
-                      sizeof(T));
-    }
+    T value{};
+    readGatherUntyped(addr, label, &value, sizeof(T));
     return value;
 }
 
@@ -628,6 +730,8 @@ ThreadContext::txRun(Body &&body)
     HtmManager &htm = machine_.htm();
     for (;;) {
         htm.beginAttempt(core_);
+        if (trace_)
+            trace_->beginAttempt(core_);
         stats.txStarted++;
         inTx_ = true;
         txAcc_ = 0;
@@ -656,7 +760,14 @@ ThreadContext::txRun(Body &&body)
         }
         if (!txAbortPending_) {
             // Commit (and seal the commit-log record, if recording).
-            advance(htm.commit(core_, nextCycle_));
+            // The commit itself is atomic in simulated time; flushing
+            // the captured attempt before the latency advance (which
+            // can yield) guarantees the trace's commit order equals
+            // the functional commit order.
+            const Cycle commitLat = htm.commit(core_, nextCycle_);
+            if (trace_)
+                trace_->commitAttempt(core_);
+            advance(commitLat);
             stats.txCommitted++;
             stats.txCommittedCycles += txAcc_;
             txAcc_ = 0;
@@ -666,6 +777,8 @@ ThreadContext::txRun(Body &&body)
             return;
         }
         const AbortCause cause = abortCause_;
+        if (trace_)
+            trace_->abortAttempt(core_);
         const Cycle backoff = htm.abortAttempt(core_, cause, rng_);
         if (abortDemote_)
             htm.setDemoted(core_);

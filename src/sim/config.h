@@ -101,6 +101,14 @@ struct MachineConfig {
      *  the COMMTM_RECORD_COMMITS environment variable (CI oracle
      *  legs). */
     bool recordCommits = false;
+    /** Capture every thread's logical op stream into a TraceWriter
+     *  (trace/trace_writer.h, docs/ARCHITECTURE.md Sec. 11). Strictly
+     *  observation-only: the baseline wall runs bit-identical with it
+     *  on. Also forced on by the COMMTM_CAPTURE_TRACE environment
+     *  variable (CI baseline legs); a value containing '/' or '.' is
+     *  taken as a file path the capture is serialized to after every
+     *  Machine::run(). */
+    bool captureTrace = false;
     /** Sweep the machine-wide invariant checker (sim/invariants.h,
      *  docs/ARCHITECTURE.md Sec. 10) at periodic scheduler sync points
      *  (and at the sync points the knobs below add). Strictly

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic trace replay (docs/ARCHITECTURE.md Sec. 11):
+ * ReplayFrontend re-executes a parsed capture against any
+ * MachineConfig. Each captured thread stream becomes one simulated
+ * thread that re-issues the recorded ops through the ThreadContext
+ * untyped paths; transaction outcomes are re-resolved through the
+ * live HTM — a replayed transaction that aborts backs off and
+ * re-issues its recorded ops from the TxBegin boundary, exactly like
+ * a closed-loop body retry. Replaying a capture on its capture config
+ * reproduces every counter bit-identically (tests/trace_test.cc).
+ */
+
+#ifndef COMMTM_TRACE_REPLAY_H
+#define COMMTM_TRACE_REPLAY_H
+
+#include "rt/frontend.h"
+#include "trace/trace_reader.h"
+
+namespace commtm {
+
+class ReplayFrontend final : public Frontend
+{
+  public:
+    /** @p trace must outlive the frontend and the machine run. */
+    explicit ReplayFrontend(const Trace &trace) : trace_(trace) {}
+
+    uint32_t threads() const override { return trace_.numThreads(); }
+
+    /** @p machine must have at least numThreads() cores and the same
+     *  label definitions as the capture-time machine (label ids are
+     *  recorded raw; reduction/split handlers come from the live
+     *  registry). */
+    void attach(Machine &machine) override;
+
+  private:
+    static void replayThread(ThreadContext &ctx,
+                             const std::vector<TraceRecord> &records);
+    static void replayOne(ThreadContext &ctx, const TraceRecord &rec);
+
+    const Trace &trace_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_TRACE_REPLAY_H

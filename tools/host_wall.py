@@ -25,6 +25,7 @@ import time
 SWEEPS = [
     ("fig09_counter", "/(128|256)/"),
     ("fig12_list", "/(128|256)/"),
+    ("replay_sweep", "/(128|256)/"),
 ]
 
 

@@ -6,6 +6,9 @@ Mechanizes the hand-maintained source rules:
   line-length    no source line longer than 78 columns
   tabs           no tab characters; indentation is 4 spaces
   file-header    every C++ file starts with a Doxygen @file comment
+  file-ext       C++ sources use the .cc extension; .cpp under src/,
+                 tests/, bench/, or examples/ is flagged (the tree
+                 once mixed both; build globs assume .cc)
   tx-aborted     in src/lib/ and src/apps/ transaction bodies, a
                  readLabeled/readGather call must be followed by a
                  ctx.txAborted() check inside the same brace scope
@@ -46,6 +49,14 @@ CXX_GLOBS = [
     "tests/*.cc",
     "bench/*.h",
     "bench/*.cc",
+    "examples/*.cc",
+]
+# Wrong-extension sources: linted for file-ext, not for content (they
+# should not exist; the build globs only pick up .cc).
+BAD_EXT_GLOBS = [
+    "src/*/*.cpp",
+    "tests/*.cpp",
+    "bench/*.cpp",
     "examples/*.cpp",
 ]
 TX_BODY_GLOBS = ["src/lib/*.cc", "src/apps/*.cc"]
@@ -90,6 +101,13 @@ def check_tabs(path, lines, findings):
             findings.append(
                 Finding(path, i, "tabs",
                         "tab character; use 4-space indentation"))
+
+
+def check_file_ext(rel, findings):
+    if str(rel).endswith(".cpp"):
+        findings.append(
+            Finding(rel, 1, "file-ext",
+                    "C++ sources use the .cc extension, not .cpp"))
 
 
 def check_file_header(path, lines, findings):
@@ -229,6 +247,9 @@ def run_lint(root):
     for path in sorted(files):
         lint_file(path, path.relative_to(root), findings, sections,
                   path in tx_files)
+    for pattern in BAD_EXT_GLOBS:
+        for path in sorted(root.glob(pattern)):
+            check_file_ext(path.relative_to(root), findings)
     for f in findings:
         print(f)
     print(f"lint: {len(files)} files, {len(findings)} finding(s)")
@@ -355,6 +376,13 @@ def run_self_test(root):
     findings = []
     check_file_header("t.cc", ["/**", " * @file", " */"], findings)
     expect(not findings, "file-header on compliant file", failures)
+    findings = []
+    check_file_ext(Path("examples/demo.cpp"), findings)
+    expect(any(f.rule == "file-ext" for f in findings),
+           "file-ext on a .cpp example", failures)
+    findings = []
+    check_file_ext(Path("examples/demo.cc"), findings)
+    expect(not findings, "file-ext on a .cc example", failures)
     if failures:
         print(f"self-test: {len(failures)} failure(s)")
         return 1

@@ -1,0 +1,330 @@
+#!/usr/bin/env python3
+"""Dump and validate CommTM trace captures (docs/ARCHITECTURE.md Sec. 11).
+
+Parses the sealed CTMTRACE container (src/trace/trace_format.h) with
+the same field-precise checks as the in-tree reader
+(src/trace/trace_reader.cc) — same rejection messages, so a trace
+this tool accepts parses in the simulator and vice versa. On success
+prints the header, a per-thread record/byte/transaction table, and a
+machine-wide opcode histogram; --dump additionally prints the first N
+decoded records of each thread.
+
+Exit status is nonzero if any input fails validation, so CI can gate
+on a dumped capture (COMMTM_CAPTURE_TRACE=<path> makes any run write
+one):
+
+    COMMTM_CAPTURE_TRACE=/tmp/cap.trace build/trace_test
+    tools/trace_info.py /tmp/cap.trace
+
+Usage: tools/trace_info.py TRACE [TRACE ...] [--dump N] [--quiet]
+"""
+
+import argparse
+import signal
+import sys
+
+MAGIC = b"CTMTRACE"
+VERSION = 1
+HEADER_BYTES = 32
+THREAD_ENTRY_BYTES = 16
+LINE_SIZE = 64
+MAX_HW_LABELS = 8
+NO_LABEL = 0xFF
+U64_MASK = (1 << 64) - 1
+
+KIND_NAMES = [
+    "Compute",
+    "Load",
+    "Store",
+    "LabeledLoad",
+    "LabeledStore",
+    "Gather",
+    "TxBegin",
+    "TxEnd",
+    "Barrier",
+    "Annotation",
+]
+ADDRESSED = {1, 2, 3, 4, 5}  # Load..Gather
+LABELED = {3, 4, 5}  # LabeledLoad, LabeledStore, Gather
+STORES = {2, 4}  # Store, LabeledStore
+
+
+class TraceError(Exception):
+    """Validation failure; str() is the trace_reader.cc diagnostic."""
+
+
+class Cursor:
+    """Bounds-checked little-endian/varint cursor over one range."""
+
+    def __init__(self, buf, start=0, end=None):
+        self.buf = buf
+        self.pos = start
+        self.end = len(buf) if end is None else end
+
+    def remaining(self):
+        return self.end - self.pos
+
+    def u8(self):
+        if self.pos >= self.end:
+            return None
+        v = self.buf[self.pos]
+        self.pos += 1
+        return v
+
+    def u32(self):
+        v = int.from_bytes(self.buf[self.pos:self.pos + 4], "little")
+        self.pos += 4
+        return v
+
+    def u64(self):
+        v = int.from_bytes(self.buf[self.pos:self.pos + 8], "little")
+        self.pos += 8
+        return v
+
+    def varint(self):
+        """LEB128; None on truncation or a value wider than 64 bits."""
+        v = 0
+        for shift in range(0, 64, 7):
+            if self.pos >= self.end:
+                return None
+            byte = self.buf[self.pos]
+            self.pos += 1
+            v |= (byte & 0x7F) << shift
+            if (byte & 0x80) == 0:
+                # The 10th byte may only carry the top bit of a u64.
+                return v if shift < 63 or byte <= 1 else None
+        return None
+
+    def raw(self, n):
+        if self.remaining() < n:
+            return None
+        v = self.buf[self.pos:self.pos + n]
+        self.pos += n
+        return v
+
+
+def unzigzag(v):
+    return (v >> 1) ^ -(v & 1)
+
+
+def parse_stream(thread, cur, expect_records):
+    """Decode one thread stream; mirrors trace_reader.cc parseStream."""
+    records = []
+    last_addr = 0
+    in_tx = False
+    while cur.remaining() > 0:
+        index = len(records)
+        if index >= expect_records:
+            raise TraceError(
+                "thread %d: %d stream bytes after record %d"
+                % (thread, cur.remaining(), expect_records - 1))
+        where = "thread %d record %d" % (thread, index)
+        kind = cur.u8()
+        if kind >= len(KIND_NAMES):
+            raise TraceError("%s: bad opcode %d" % (where, kind))
+        rec = {"kind": kind}
+        if kind == 0:  # Compute
+            rec["a"] = cur.varint()
+            if rec["a"] is None:
+                raise TraceError("%s: truncated instr count" % where)
+        elif kind in ADDRESSED:
+            delta = cur.varint()
+            if delta is None:
+                raise TraceError("%s: truncated address delta" % where)
+            last_addr = (last_addr + unzigzag(delta)) & U64_MASK
+            rec["addr"] = last_addr
+            size = cur.varint()
+            if size is None:
+                raise TraceError("%s: truncated size" % where)
+            if size == 0 or size > LINE_SIZE:
+                raise TraceError(
+                    "%s: implausible access size %d" % (where, size))
+            rec["size"] = size
+            if rec["addr"] % LINE_SIZE + size > LINE_SIZE:
+                raise TraceError(
+                    "%s: access straddles a cache line" % where)
+            if kind in LABELED:
+                label = cur.u8()
+                if label is None:
+                    raise TraceError("%s: truncated label" % where)
+                if label >= MAX_HW_LABELS and label != NO_LABEL:
+                    raise TraceError(
+                        "%s: bad label %d" % (where, label))
+                rec["label"] = label
+            if kind in STORES:
+                rec["data"] = cur.raw(size)
+                if rec["data"] is None:
+                    raise TraceError(
+                        "%s: truncated operand (%d bytes)"
+                        % (where, size))
+        elif kind == 6:  # TxBegin
+            if in_tx:
+                raise TraceError(
+                    "%s: TxBegin inside a transaction" % where)
+            in_tx = True
+        elif kind == 7:  # TxEnd
+            if not in_tx:
+                raise TraceError("%s: TxEnd without TxBegin" % where)
+            in_tx = False
+        elif kind == 8:  # Barrier
+            if in_tx:
+                raise TraceError(
+                    "%s: Barrier inside a transaction" % where)
+        else:  # Annotation
+            rec["a"] = cur.varint()
+            rec["b"] = cur.varint() if rec["a"] is not None else None
+            if rec["b"] is None:
+                raise TraceError("%s: truncated annotation" % where)
+        records.append(rec)
+    if len(records) != expect_records:
+        raise TraceError(
+            "thread %d: stream ends after record %d of %d"
+            % (thread, len(records), expect_records))
+    if in_tx:
+        raise TraceError(
+            "thread %d: unterminated transaction at end of stream"
+            % thread)
+    return records
+
+
+def parse(buf):
+    """Full-container parse; mirrors trace_reader.cc TraceReader::parse.
+
+    Returns {"version", "fingerprint", "threads": [records...],
+    "commit_order"}; raises TraceError with the reader's diagnostic.
+    """
+    if len(buf) < HEADER_BYTES:
+        raise TraceError("truncated header")
+    if buf[:len(MAGIC)] != MAGIC:
+        raise TraceError("bad magic")
+    cur = Cursor(buf, start=len(MAGIC))
+    version = cur.u32()
+    num_threads = cur.u32()
+    fingerprint = cur.u64()
+    commit_count = cur.u64()
+    if version != VERSION:
+        raise TraceError("unsupported version %d" % version)
+    if cur.remaining() // THREAD_ENTRY_BYTES < num_threads:
+        raise TraceError("truncated thread table")
+    table = [(cur.u64(), cur.u64()) for _ in range(num_threads)]
+    stream_bytes = 0
+    for t, (_, nbytes) in enumerate(table):
+        if stream_bytes + nbytes > cur.remaining():
+            raise TraceError(
+                "thread %d: stream length %d runs past the end of "
+                "the buffer" % (t, nbytes))
+        stream_bytes += nbytes
+    threads = []
+    for t, (nrecords, nbytes) in enumerate(table):
+        stream = Cursor(buf, start=cur.pos, end=cur.pos + nbytes)
+        threads.append(parse_stream(t, stream, nrecords))
+        cur.pos += nbytes
+    commit_order = []
+    for i in range(commit_count):
+        core = cur.varint()
+        if core is None:
+            raise TraceError(
+                "truncated commit order at entry %d" % i)
+        if core >= num_threads:
+            raise TraceError(
+                "commit order entry %d: core %d out of range"
+                % (i, core))
+        commit_order.append(core)
+    if cur.remaining() != 0:
+        raise TraceError(
+            "%d trailing bytes after the commit order"
+            % cur.remaining())
+    return {
+        "version": version,
+        "fingerprint": fingerprint,
+        "threads": threads,
+        "commit_order": commit_order,
+        "table": table,
+    }
+
+
+def format_record(rec):
+    parts = [KIND_NAMES[rec["kind"]]]
+    if "addr" in rec:
+        parts.append("addr=0x%x size=%d" % (rec["addr"], rec["size"]))
+    if "label" in rec:
+        parts.append("label=%s"
+                     % ("-" if rec["label"] == NO_LABEL
+                        else rec["label"]))
+    if "data" in rec:
+        parts.append("data=" + rec["data"].hex())
+    if rec["kind"] == 0:
+        parts.append("instrs=%d" % rec["a"])
+    if rec["kind"] == 9:
+        parts.append("code=%d value=%d" % (rec["a"], rec["b"]))
+    return " ".join(parts)
+
+
+def report(path, trace, dump):
+    print("%s: CTMTRACE v%d, %d threads, %d commits, "
+          "config fingerprint 0x%016x"
+          % (path, trace["version"], len(trace["threads"]),
+             len(trace["commit_order"]), trace["fingerprint"]))
+    print("  %6s %10s %10s %8s" % ("thread", "records", "bytes",
+                                   "txs"))
+    histogram = [0] * len(KIND_NAMES)
+    idle = 0
+    for t, records in enumerate(trace["threads"]):
+        if not records:
+            idle += 1
+            continue
+        txs = 0
+        for rec in records:
+            histogram[rec["kind"]] += 1
+            txs += rec["kind"] == 6
+        print("  %6d %10d %10d %8d"
+              % (t, len(records), trace["table"][t][1], txs))
+    if idle:
+        print("  (%d idle threads with empty streams)" % idle)
+    print("  opcode histogram: "
+          + " ".join("%s=%d" % (KIND_NAMES[k], n)
+                     for k, n in enumerate(histogram) if n))
+    for t, records in enumerate(trace["threads"]):
+        for i, rec in enumerate(records[:dump]):
+            print("  thread %d record %d: %s"
+                  % (t, i, format_record(rec)))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Dump and validate CommTM trace captures.")
+    ap.add_argument("traces", nargs="+", metavar="TRACE",
+                    help="serialized capture (COMMTM_CAPTURE_TRACE)")
+    ap.add_argument("--dump", type=int, default=0, metavar="N",
+                    help="also print the first N records per thread")
+    ap.add_argument("--quiet", action="store_true",
+                    help="validate only; one OK/INVALID line per file")
+    args = ap.parse_args()
+    status = 0
+    for path in args.traces:
+        try:
+            with open(path, "rb") as f:
+                buf = f.read()
+        except OSError as e:
+            print("%s: %s" % (path, e.strerror), file=sys.stderr)
+            status = 1
+            continue
+        try:
+            trace = parse(buf)
+        except TraceError as e:
+            print("%s: INVALID: %s" % (path, e), file=sys.stderr)
+            status = 1
+            continue
+        if args.quiet:
+            print("%s: OK (%d threads, %d commits)"
+                  % (path, len(trace["threads"]),
+                     len(trace["commit_order"])))
+        else:
+            report(path, trace, args.dump)
+    return status
+
+
+if __name__ == "__main__":
+    # Die quietly when piped into head & co.
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    sys.exit(main())
