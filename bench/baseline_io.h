@@ -33,12 +33,20 @@ namespace baseline {
 
 /** Exact counters of one benchmark row. Integers compare exactly;
  *  speedup is a formatted double and compares with a small relative
- *  tolerance (see docs/BENCHMARKS.md). */
+ *  tolerance (see docs/BENCHMARKS.md). Open-loop service rows
+ *  additionally pin exact latency quantiles in simulated cycles
+ *  (sim/latency_hist.h bucket bounds, so they are platform-exact);
+ *  rows without them — every closed-loop row — neither write nor
+ *  check the quantile keys, keeping old baseline files valid. */
 struct Entry {
     uint64_t simCycles = 0;
     uint64_t commits = 0;
     uint64_t aborts = 0;
     double speedup = 0.0;
+    bool hasQuantiles = false;
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+    uint64_t p999 = 0;
 };
 
 /** family -> row label ("Baseline @128t") -> counters. */
@@ -147,8 +155,22 @@ class Parser
             } else if (key == "speedup") {
                 if (!parseNumber(out.speedup, err))
                     return false;
+            } else if (key == "p50" || key == "p99" || key == "p999") {
+                uint64_t *field = key == "p50"
+                                      ? &out.p50
+                                      : key == "p99" ? &out.p99
+                                                     : &out.p999;
+                if (!parseUint64(*field, err))
+                    return false;
+                out.hasQuantiles = true;
             } else {
-                return fail(err, "unknown counter key '" + key + "'");
+                // Forward tolerance: a newer writer may pin counters
+                // this reader does not know. Any numeric value is
+                // skipped; non-numbers still fail (the file is
+                // machine-written, so anything else is corruption).
+                double ignored = 0.0;
+                if (!parseNumber(ignored, err))
+                    return false;
             }
             skipWs();
             if (peek() == ',') {
@@ -329,8 +351,12 @@ save(const std::string &path, const File &file)
             std::snprintf(num, sizeof(num), "%.17g", e.speedup);
             out << "    \"" << row << "\": {\"sim_cycles\": " << e.simCycles
                 << ", \"commits\": " << e.commits
-                << ", \"aborts\": " << e.aborts << ", \"speedup\": " << num
-                << "}";
+                << ", \"aborts\": " << e.aborts << ", \"speedup\": " << num;
+            if (e.hasQuantiles) {
+                out << ", \"p50\": " << e.p50 << ", \"p99\": " << e.p99
+                    << ", \"p999\": " << e.p999;
+            }
+            out << "}";
         }
         out << "\n  }";
     }
@@ -400,6 +426,26 @@ check(const File &file, bool filtered)
         if (got.aborts != want.aborts)
             complain(r, "aborts", std::to_string(got.aborts),
                      std::to_string(want.aborts));
+        // Quantiles compare exactly, but only when the baseline row
+        // pins them: a pre-quantile baselines.json still checks
+        // cleanly against a quantile-reporting bench (regenerate to
+        // start pinning). A baseline that pins them against a row
+        // that stopped reporting them is a real regression and fails.
+        if (want.hasQuantiles) {
+            if (!got.hasQuantiles) {
+                complain(r, "quantiles", "absent", "present");
+            } else {
+                if (got.p50 != want.p50)
+                    complain(r, "p50", std::to_string(got.p50),
+                             std::to_string(want.p50));
+                if (got.p99 != want.p99)
+                    complain(r, "p99", std::to_string(got.p99),
+                             std::to_string(want.p99));
+                if (got.p999 != want.p999)
+                    complain(r, "p999", std::to_string(got.p999),
+                             std::to_string(want.p999));
+            }
+        }
         if (!filtered) {
             const double tol =
                 1e-6 * std::max(std::fabs(got.speedup),

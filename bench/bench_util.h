@@ -33,7 +33,9 @@
 #include <vector>
 
 #include "baseline_io.h"
+#include "rt/open_loop.h"
 #include "sim/config.h"
+#include "sim/latency_hist.h"
 #include "sim/stats.h"
 
 #ifndef COMMTM_BASELINE_FILE
@@ -183,6 +185,34 @@ reportStats(benchmark::State &state, const std::string &family,
     rec.entry.speedup =
         referenceCycles(family) / double(stats.runtimeCycles());
     baseline::recordedRows().push_back(rec);
+}
+
+/**
+ * Open-loop service-bench variant: the standard counters plus the
+ * measurement-window latency quantiles (simulated cycles, exact) and
+ * the queueing outcomes, with p50/p99/p999 recorded into the baseline
+ * row (docs/BENCHMARKS.md, "Open-loop service rows"). @p hist must be
+ * the measurement-window merge — warmup requests are excluded by
+ * construction (rt/open_loop.h).
+ */
+inline void
+reportServiceStats(benchmark::State &state, const std::string &family,
+                   const std::string &row, const StatsSnapshot &stats,
+                   const LatencyHistogram &hist,
+                   const ServiceStats &svc)
+{
+    reportStats(state, family, row, stats);
+    state.counters["p50_cyc"] = double(hist.p50());
+    state.counters["p99_cyc"] = double(hist.p99());
+    state.counters["p999_cyc"] = double(hist.p999());
+    state.counters["admitted"] = double(svc.admitted);
+    state.counters["dropped"] = double(svc.dropped);
+    state.counters["qdepth_max"] = double(svc.maxDepth);
+    baseline::Entry &entry = baseline::recordedRows().back().entry;
+    entry.hasQuantiles = true;
+    entry.p50 = hist.p50();
+    entry.p99 = hist.p99();
+    entry.p999 = hist.p999();
 }
 
 /**

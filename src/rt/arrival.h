@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic, seeded arrival streams and the Zipfian key sampler
+ * for the open-loop service frontend (docs/ARCHITECTURE.md Sec. 12).
+ * Timestamps are simulated cycles; every draw comes from a private
+ * xoshiro generator seeded from the stream config, and all math goes
+ * through sim/det_math.h, so a stream is a bit-identical function of
+ * (pattern, seed) on every platform — which is what lets open-loop
+ * bench rows pin exact quantiles in bench/baselines.json.
+ */
+
+#ifndef COMMTM_RT_ARRIVAL_H
+#define COMMTM_RT_ARRIVAL_H
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/det_math.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace commtm {
+
+/**
+ * An arrival process. Poisson draws i.i.d. exponential inter-arrival
+ * gaps with mean meanGap. Bursty is an on-off modulated Poisson
+ * process (a contention-spike model): phases alternate between ON —
+ * arrivals at burstFactor times the base rate — and OFF (no arrivals
+ * at all), with exponentially distributed phase lengths.
+ */
+struct ArrivalPattern {
+    enum class Kind { Poisson, Bursty };
+
+    Kind kind = Kind::Poisson;
+    /** Mean inter-arrival gap in cycles (the base rate). */
+    double meanGap = 1000.0;
+
+    // Bursty parameters (ignored for Poisson).
+    double burstFactor = 8.0; //!< ON-phase rate multiplier
+    double onMean = 4000.0;   //!< mean ON-phase length, cycles
+    double offMean = 4000.0;  //!< mean OFF-phase length, cycles
+};
+
+/**
+ * One deterministic arrival stream: next() yields strictly increasing
+ * arrival cycles. Gaps are quantized to whole cycles and floored at 1
+ * so arrivals never alias.
+ */
+class ArrivalStream
+{
+  public:
+    ArrivalStream(const ArrivalPattern &pattern, uint64_t seed)
+        : pattern_(pattern), rng_(seed)
+    {
+    }
+
+    /** Cycle of the next arrival. */
+    Cycle
+    next()
+    {
+        if (pattern_.kind == ArrivalPattern::Kind::Poisson) {
+            now_ += expGap(pattern_.meanGap);
+            return now_;
+        }
+        // Bursty: arrivals exist only inside ON phases. A drawn gap
+        // that crosses the phase end is discarded and the stream
+        // re-draws from the start of the next ON phase (memorylessness
+        // makes the re-draw statistically equivalent to thinning).
+        const double on_gap =
+            pattern_.meanGap / pattern_.burstFactor;
+        for (;;) {
+            if (!on_) {
+                now_ = phaseEnd_;
+                on_ = true;
+                phaseEnd_ = now_ + expGap(pattern_.onMean);
+            }
+            const Cycle gap = expGap(on_gap);
+            if (now_ + gap < phaseEnd_) {
+                now_ += gap;
+                return now_;
+            }
+            now_ = phaseEnd_;
+            on_ = false;
+            phaseEnd_ = now_ + expGap(pattern_.offMean);
+        }
+    }
+
+  private:
+    /** Exponential gap with mean @p mean, in whole cycles (>= 1). */
+    Cycle
+    expGap(double mean)
+    {
+        // 1 - uniform() is in (0, 1], so the log argument is never 0.
+        const double u = 1.0 - rng_.uniform();
+        const double gap = -mean * detmath::detLog(u);
+        if (gap <= 1.0)
+            return 1;
+        return Cycle(std::llround(gap));
+    }
+
+    ArrivalPattern pattern_;
+    Rng rng_;
+    Cycle now_ = 0;
+    Cycle phaseEnd_ = 0;
+    bool on_ = false;
+};
+
+/**
+ * Deterministic Zipfian sampler over [0, items): P(k) proportional to
+ * (k + 1)^-s. s = 0 degenerates to uniform; s around 1 gives the
+ * classic heavy head where a few hot keys absorb most arrivals. The
+ * cumulative weights are precomputed with det_math, so same (items,
+ * s, draw sequence) means same keys everywhere.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(uint64_t items, double s) : cum_(items)
+    {
+        double total = 0.0;
+        for (uint64_t k = 0; k < items; k++) {
+            total += detmath::detPow(double(k + 1), -s);
+            cum_[k] = total;
+        }
+    }
+
+    /** Draw one key using @p rng. */
+    uint64_t
+    sample(Rng &rng)
+    {
+        const double u = rng.uniform() * cum_.back();
+        // Binary search: first cumulative weight above u.
+        uint64_t lo = 0;
+        uint64_t hi = cum_.size() - 1;
+        while (lo < hi) {
+            const uint64_t mid = lo + (hi - lo) / 2;
+            if (cum_[mid] > u)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return lo;
+    }
+
+    uint64_t items() const { return cum_.size(); }
+
+  private:
+    std::vector<double> cum_;
+};
+
+} // namespace commtm
+
+#endif // COMMTM_RT_ARRIVAL_H

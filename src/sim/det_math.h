@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bit-deterministic transcendental helpers for the arrival generators
+ * (rt/arrival.h, docs/ARCHITECTURE.md Sec. 12). The exact-counter
+ * baseline wall requires every simulated run to be bit-identical
+ * across compilers and C libraries, but libm makes no cross-platform
+ * accuracy promise for log/exp/pow — two glibc versions may round the
+ * same input differently. These implementations use only IEEE-754
+ * basic operations (+, -, *, /) plus the exact frexp/ldexp/floor, so
+ * every platform computes the same bits. Accuracy is ~1e-12 relative,
+ * far tighter than the generators need; determinism is the contract.
+ */
+
+#ifndef COMMTM_SIM_DET_MATH_H
+#define COMMTM_SIM_DET_MATH_H
+
+#include <cassert>
+#include <cmath>
+
+namespace commtm {
+namespace detmath {
+
+inline constexpr double kLn2 = 0.6931471805599453;
+inline constexpr double kInvLn2 = 1.4426950408889634;
+
+/**
+ * Base-2 logarithm of @p x (> 0). Decomposes x = m * 2^e with frexp
+ * (exact), then sums the atanh series for ln(m) with m in [0.5, 1):
+ * r = (m-1)/(m+1) has |r| <= 1/3, so 11 odd-power terms leave a
+ * remainder below 1e-11.
+ */
+inline double
+detLog2(double x)
+{
+    assert(x > 0.0);
+    int e = 0;
+    const double m = std::frexp(x, &e); // m in [0.5, 1)
+    const double r = (m - 1.0) / (m + 1.0);
+    const double r2 = r * r;
+    double term = r;
+    double sum = r;
+    for (int k = 3; k <= 23; k += 2) {
+        term *= r2;
+        sum += term / double(k);
+    }
+    return double(e) + 2.0 * sum * kInvLn2;
+}
+
+/** Natural logarithm of @p x (> 0). */
+inline double
+detLog(double x)
+{
+    return detLog2(x) * kLn2;
+}
+
+/**
+ * 2 to the power @p y. Splits y = n + f with f in [0, 1) (floor is
+ * exact), evaluates e^(f ln 2) by Taylor series (18 terms: the
+ * remainder is below 1e-17 at f ln 2 <= 0.694), and scales by 2^n
+ * with ldexp (exact). |y| is clamped to the double exponent range.
+ */
+inline double
+detExp2(double y)
+{
+    if (y < -1022.0)
+        return 0.0;
+    if (y > 1023.0)
+        y = 1023.0;
+    const double n = std::floor(y);
+    const double z = (y - n) * kLn2;
+    double term = 1.0;
+    double sum = 1.0;
+    for (int k = 1; k <= 18; k++) {
+        term *= z / double(k);
+        sum += term;
+    }
+    return std::ldexp(sum, int(n));
+}
+
+/** @p x (> 0) to the power @p y. */
+inline double
+detPow(double x, double y)
+{
+    return detExp2(y * detLog2(x));
+}
+
+} // namespace detmath
+} // namespace commtm
+
+#endif // COMMTM_SIM_DET_MATH_H

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the seeded arrival streams and the Zipfian sampler
+ * (rt/arrival.h), and for the open-loop frontend built on them
+ * (docs/ARCHITECTURE.md Sec. 12). The pinned sequences are a
+ * contract: they are what makes the svc_* baseline rows in
+ * bench/baselines.json portable, so a change that shifts any of them
+ * must show up here first. Moment checks tie the generators to their
+ * closed forms, and the 256-thread double-run check proves a full
+ * open-loop service run is a bit-identical function of its config.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lib/counter.h"
+#include "rt/machine.h"
+#include "rt/open_loop.h"
+
+namespace commtm {
+namespace {
+
+TEST(Arrival, PinnedPoissonSequences)
+{
+    ArrivalPattern p;
+    p.meanGap = 1000.0;
+
+    ArrivalStream s1(p, 1);
+    const Cycle want1[] = {1214, 1949, 2803, 3299,
+                           4494, 4649, 4723, 5203};
+    for (Cycle want : want1)
+        EXPECT_EQ(s1.next(), want);
+
+    ArrivalStream s42(p, 42);
+    const Cycle want42[] = {88, 564, 1704, 4290,
+                            9094, 10563, 11833, 13730};
+    for (Cycle want : want42)
+        EXPECT_EQ(s42.next(), want);
+}
+
+TEST(Arrival, PinnedBurstySequence)
+{
+    ArrivalPattern p;
+    p.kind = ArrivalPattern::Kind::Bursty;
+    p.meanGap = 1000.0;
+    p.burstFactor = 8.0;
+    p.onMean = 2000.0;
+    p.offMean = 6000.0;
+
+    ArrivalStream s(p, 7);
+    // The tight clusters (1611, 1619, 1633, ...) are an ON phase at
+    // 8x the base rate; the jumps are OFF silences.
+    const Cycle want[] = {41, 270, 766, 1353, 1611, 1619, 1633, 1698};
+    for (Cycle w : want)
+        EXPECT_EQ(s.next(), w);
+}
+
+TEST(Arrival, PinnedZipfSequences)
+{
+    ZipfSampler zipf(16, 0.99);
+
+    Rng rng3(3);
+    const uint64_t want3[] = {5, 4, 0, 2, 1, 1, 0, 5, 13, 0, 12, 5};
+    for (uint64_t want : want3)
+        EXPECT_EQ(zipf.sample(rng3), want);
+
+    Rng rng9(9);
+    const uint64_t want9[] = {0, 0, 0, 6, 12, 6, 5, 2, 0, 2, 6, 15};
+    for (uint64_t want : want9)
+        EXPECT_EQ(zipf.sample(rng9), want);
+}
+
+TEST(Arrival, ArrivalsStrictlyIncrease)
+{
+    for (auto kind : {ArrivalPattern::Kind::Poisson,
+                      ArrivalPattern::Kind::Bursty}) {
+        ArrivalPattern p;
+        p.kind = kind;
+        p.meanGap = 3.0; // tiny gaps: the floor-at-1 path is hot
+        ArrivalStream s(p, 123);
+        Cycle prev = 0;
+        for (int i = 0; i < 4096; i++) {
+            const Cycle c = s.next();
+            EXPECT_GT(c, prev);
+            prev = c;
+        }
+    }
+}
+
+TEST(Arrival, PoissonMeanMatchesClosedForm)
+{
+    ArrivalPattern p;
+    p.meanGap = 1000.0;
+    ArrivalStream s(p, 5);
+    Cycle prev = 0;
+    double sum = 0.0;
+    constexpr int kN = 8192;
+    for (int i = 0; i < kN; i++) {
+        const Cycle c = s.next();
+        sum += double(c - prev);
+        prev = c;
+    }
+    // Sample mean of kN exponential gaps: stddev is mean/sqrt(kN),
+    // about 11 cycles here; 2.5% is a > 2-sigma band.
+    EXPECT_NEAR(sum / kN, 1000.0, 25.0);
+}
+
+TEST(Arrival, ZipfFrequenciesMatchClosedForm)
+{
+    constexpr uint64_t kItems = 16;
+    constexpr double kS = 0.99;
+    constexpr int kDraws = 8192;
+    ZipfSampler zipf(kItems, kS);
+    Rng rng(11);
+    uint64_t freq[kItems] = {0};
+    for (int i = 0; i < kDraws; i++)
+        freq[zipf.sample(rng)]++;
+
+    double norm = 0.0;
+    for (uint64_t k = 1; k <= kItems; k++)
+        norm += std::pow(double(k), -kS);
+    for (uint64_t k = 0; k < 4; k++) {
+        const double expect = std::pow(double(k + 1), -kS) / norm;
+        EXPECT_NEAR(double(freq[k]) / kDraws, expect, 0.02)
+            << "rank " << k;
+    }
+    // Heavy head: the hottest key dominates the coldest by far.
+    EXPECT_GT(freq[0], 8 * freq[kItems - 1]);
+}
+
+/** Shared run shape for the determinism checks below. */
+struct OpenLoopRun {
+    StatsSnapshot stats;
+    LatencyHistogram measure;
+    LatencyHistogram warmup;
+    ServiceStats service;
+    int64_t total = 0;
+};
+
+OpenLoopRun
+runOpenLoopCounter(uint32_t threads)
+{
+    MachineConfig mc = MachineConfig::forCores(threads);
+    mc.mode = SystemMode::CommTm;
+    Machine m(mc);
+    const Label add = CommCounter::defineLabel(m);
+    std::vector<std::unique_ptr<CommCounter>> counters;
+    for (int c = 0; c < 8; c++)
+        counters.push_back(std::make_unique<CommCounter>(m, add));
+
+    OpenLoopConfig cfg;
+    cfg.pattern.kind = ArrivalPattern::Kind::Bursty;
+    cfg.pattern.meanGap = 200.0;
+    cfg.arrivalsPerThread = 24;
+    cfg.warmupPerThread = 4;
+    cfg.queueDepth = 4;
+    cfg.zipfItems = 8;
+    OpenLoopFrontend fe(cfg, threads,
+                        [&](ThreadContext &ctx, uint64_t key) {
+                            counters[key]->add(ctx, 1);
+                        });
+    fe.attach(m);
+    m.run();
+
+    OpenLoopRun r;
+    r.stats = m.stats();
+    r.measure = fe.mergedMeasure();
+    r.warmup = fe.mergedWarmup();
+    r.service = fe.totalService();
+    for (const auto &counter : counters)
+        r.total += counter->peek(m);
+    return r;
+}
+
+TEST(OpenLoop, SameSeed256ThreadRunIsBitIdentical)
+{
+    const OpenLoopRun a = runOpenLoopCounter(256);
+    const OpenLoopRun b = runOpenLoopCounter(256);
+
+    EXPECT_EQ(a.stats.runtimeCycles(), b.stats.runtimeCycles());
+    ASSERT_EQ(a.stats.threads.size(), b.stats.threads.size());
+    for (size_t t = 0; t < a.stats.threads.size(); t++) {
+        EXPECT_EQ(a.stats.threads[t].txCommitted,
+                  b.stats.threads[t].txCommitted)
+            << "thread " << t;
+        EXPECT_EQ(a.stats.threads[t].instrs, b.stats.threads[t].instrs)
+            << "thread " << t;
+    }
+    EXPECT_TRUE(a.measure == b.measure);
+    EXPECT_TRUE(a.warmup == b.warmup);
+    EXPECT_EQ(a.service.admitted, b.service.admitted);
+    EXPECT_EQ(a.service.dropped, b.service.dropped);
+    EXPECT_EQ(a.service.completed, b.service.completed);
+    EXPECT_EQ(a.service.maxDepth, b.service.maxDepth);
+    EXPECT_EQ(a.total, b.total);
+}
+
+TEST(OpenLoop, AccountingIsConsistent)
+{
+    const OpenLoopRun r = runOpenLoopCounter(64);
+    // Every arrival was either admitted or dropped; every admitted
+    // request was serviced exactly once; every serviced request
+    // committed exactly one counter increment.
+    EXPECT_EQ(r.service.admitted + r.service.dropped, 64u * 24u);
+    EXPECT_EQ(r.service.completed, r.service.admitted);
+    EXPECT_EQ(r.total, int64_t(r.service.completed));
+    // The tight burst config must actually exercise the bounded
+    // queue, and warmup/measure must split where configured.
+    EXPECT_GT(r.service.dropped, 0u);
+    EXPECT_EQ(r.warmup.totalCount(), 64u * 4u);
+    EXPECT_EQ(r.measure.totalCount(),
+              r.service.completed - 64u * 4u);
+}
+
+} // namespace
+} // namespace commtm

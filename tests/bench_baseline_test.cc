@@ -202,6 +202,109 @@ TEST(BaselineParser, NumberFlushAgainstGuardPageParses)
     EXPECT_NE(err.find("EOF"), std::string::npos) << err;
 }
 
+TEST(BaselineParser, QuantileFieldsRoundTrip)
+{
+    File file;
+    Entry svc;
+    svc.simCycles = 81660;
+    svc.commits = 6144;
+    svc.aborts = 0;
+    svc.speedup = 2.119;
+    svc.hasQuantiles = true;
+    svc.p50 = 59;
+    svc.p99 = 991;
+    svc.p999 = 9007199254740993ull; // above 2^53: must stay exact
+    file["svc_counter"]["CommTM burst @128t"] = svc;
+    file["fig09"]["Baseline @128t"] = {123, 45, 6, 1.0};
+
+    const std::string path =
+        ::testing::TempDir() + "/baseline_quantiles.json";
+    ASSERT_TRUE(save(path, file));
+    File loaded;
+    std::string err;
+    ASSERT_TRUE(load(path, loaded, err)) << err;
+    const Entry &got = loaded["svc_counter"]["CommTM burst @128t"];
+    EXPECT_TRUE(got.hasQuantiles);
+    EXPECT_EQ(got.p50, 59u);
+    EXPECT_EQ(got.p99, 991u);
+    EXPECT_EQ(got.p999, 9007199254740993ull);
+    // Closed-loop rows neither write nor acquire quantile keys: old
+    // baseline files and new ones must stay byte-interchangeable for
+    // every pre-existing row.
+    EXPECT_FALSE(loaded["fig09"]["Baseline @128t"].hasQuantiles);
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const size_t fig_at = text.find("\"fig09\"");
+    const size_t svc_at = text.find("\"svc_counter\"");
+    ASSERT_NE(fig_at, std::string::npos);
+    ASSERT_NE(svc_at, std::string::npos);
+    // Families serialize in map order, so fig09's row text is the
+    // [fig09, svc_counter) range: it must carry no quantile keys.
+    ASSERT_LT(fig_at, svc_at);
+    EXPECT_EQ(text.substr(fig_at, svc_at - fig_at).find("\"p50\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"p50\": 59", svc_at), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(BaselineParser, UnknownNumericFieldsAreTolerated)
+{
+    // Forward tolerance: a future writer may pin counters this reader
+    // does not know. Numbers skip cleanly; anything else still fails.
+    File out;
+    std::string err;
+    ASSERT_TRUE(parseText(
+        R"({"f": {"r": {"sim_cycles": 7, "p75": 12,)"
+        R"( "frobnication_index": 1.5e9, "p999": 42}}})",
+        out, err))
+        << err;
+    EXPECT_EQ(out["f"]["r"].simCycles, 7u);
+    EXPECT_EQ(out["f"]["r"].p999, 42u);
+    EXPECT_TRUE(out["f"]["r"].hasQuantiles);
+    EXPECT_FALSE(parseText(
+        R"({"f": {"r": {"novel_key": "a string"}}})", out, err));
+    EXPECT_FALSE(parseText(
+        R"({"f": {"r": {"p50": 1.5}}})", out, err));
+}
+
+TEST(BaselineCheck, QuantilePresenceRules)
+{
+    Entry pinned;
+    pinned.simCycles = 10;
+    pinned.speedup = 1.0;
+    pinned.hasQuantiles = true;
+    pinned.p50 = 5;
+    pinned.p99 = 50;
+    pinned.p999 = 500;
+
+    File file;
+    file["svc"]["row"] = pinned;
+
+    // Exact match passes.
+    recordedRows().clear();
+    recordedRows().push_back({"svc", "row", pinned});
+    EXPECT_TRUE(check(file, false));
+
+    // A single drifted quantile fails.
+    recordedRows().back().entry.p999 = 501;
+    EXPECT_FALSE(check(file, false));
+
+    // A row that stopped reporting pinned quantiles is a regression.
+    recordedRows().back().entry = {10, 0, 0, 1.0};
+    EXPECT_FALSE(check(file, false));
+
+    // The reverse — bench reports quantiles, baseline file predates
+    // them — checks cleanly, so old files stay usable until the next
+    // --write-baseline.
+    File old_file;
+    old_file["svc"]["row"] = {10, 0, 0, 1.0};
+    recordedRows().back().entry = pinned;
+    EXPECT_TRUE(check(old_file, false));
+    recordedRows().clear();
+}
+
 TEST(BaselineCheck, MergeReplacesRecordedRowsOnly)
 {
     recordedRows().clear();

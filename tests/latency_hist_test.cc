@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the log-spaced latency histogram (sim/latency_hist.h;
+ * docs/ARCHITECTURE.md Sec. 12): bucket geometry at the exact/lossy
+ * boundary and at uint64 saturation, pinned quantiles (these back the
+ * svc_* rows pinned in bench/baselines.json), the never-understate
+ * guarantee, and merge laws — merging per-thread histograms must be
+ * indistinguishable from single-histogram ingest, in any order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/latency_hist.h"
+
+namespace commtm {
+namespace {
+
+using Hist = LatencyHistogram;
+
+TEST(LatencyHist, ExactBucketsThroughFirstOctave)
+{
+    // Values below 2^kSubBits get unit buckets by construction, and
+    // the first octave's sub-buckets happen to be unit-width too: the
+    // histogram is lossless up to 31.
+    for (uint64_t v = 0; v < 32; v++) {
+        EXPECT_EQ(Hist::bucketOf(v), uint32_t(v)) << v;
+        EXPECT_EQ(Hist::bucketBound(Hist::bucketOf(v)), v) << v;
+    }
+    // First lossy bucket: 32 and 33 coincide, bounded above by 33.
+    EXPECT_EQ(Hist::bucketOf(32), Hist::bucketOf(33));
+    EXPECT_EQ(Hist::bucketBound(Hist::bucketOf(32)), 33u);
+    EXPECT_NE(Hist::bucketOf(33), Hist::bucketOf(34));
+}
+
+TEST(LatencyHist, BucketBoundNeverUnderstates)
+{
+    // Sweep octave boundaries and their neighbors across the whole
+    // range: every value's bucket bound is >= the value and within
+    // the 6.25% quantization guarantee.
+    for (uint32_t shift = 4; shift < 64; shift++) {
+        for (int64_t delta = -2; delta <= 2; delta++) {
+            const uint64_t v = (uint64_t(1) << shift) + uint64_t(delta);
+            const uint64_t bound = Hist::bucketBound(Hist::bucketOf(v));
+            EXPECT_GE(bound, v) << v;
+            EXPECT_LE(bound - v, v / Hist::kSub + 1) << v;
+        }
+    }
+}
+
+TEST(LatencyHist, SaturationAtUint64Max)
+{
+    EXPECT_EQ(Hist::bucketOf(UINT64_MAX), Hist::kBuckets - 1);
+    EXPECT_EQ(Hist::bucketBound(Hist::kBuckets - 1), UINT64_MAX);
+    Hist h;
+    h.record(UINT64_MAX);
+    EXPECT_EQ(h.p50(), UINT64_MAX);
+    EXPECT_EQ(h.quantile(1000), UINT64_MAX);
+}
+
+TEST(LatencyHist, EmptyHistogramReportsZero)
+{
+    const Hist h;
+    EXPECT_EQ(h.totalCount(), 0u);
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+    EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(LatencyHist, PinnedQuantilesUniform)
+{
+    Hist h;
+    for (uint64_t v = 1; v <= 1000; v++)
+        h.record(v);
+    EXPECT_EQ(h.totalCount(), 1000u);
+    EXPECT_EQ(h.p50(), 511u);
+    EXPECT_EQ(h.quantile(900), 927u);
+    EXPECT_EQ(h.p99(), 991u);
+    EXPECT_EQ(h.p999(), 1023u);
+    EXPECT_EQ(h.quantile(1000), 1023u);
+}
+
+TEST(LatencyHist, PinnedQuantilesHeavyHead)
+{
+    // A service-shaped distribution: almost everything fast, a thin
+    // slow tail. p999 must find the stragglers.
+    Hist h;
+    h.record(10, 994);
+    h.record(100000, 5);
+    h.record(12345678, 1);
+    EXPECT_EQ(h.p50(), 10u);
+    EXPECT_EQ(h.p99(), 10u);
+    EXPECT_EQ(h.p999(), 102399u);
+}
+
+TEST(LatencyHist, MergeEqualsSingleIngest)
+{
+    // Spread one value stream over four shards, merge in two
+    // different orders: both must equal single-histogram ingest,
+    // bucket for bucket.
+    Hist single;
+    Hist shard[4];
+    uint64_t x = 88172645463325252ull; // xorshift64
+    for (int i = 0; i < 4096; i++) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const uint64_t v = x >> (x % 50);
+        single.record(v);
+        shard[i % 4].record(v);
+    }
+    Hist fwd;
+    for (int s = 0; s < 4; s++)
+        fwd.merge(shard[s]);
+    Hist rev;
+    for (int s = 3; s >= 0; s--)
+        rev.merge(shard[s]);
+    EXPECT_TRUE(fwd == single);
+    EXPECT_TRUE(rev == single);
+    EXPECT_EQ(fwd.p999(), single.p999());
+}
+
+TEST(LatencyHist, MultiplicityMatchesRepeatedRecord)
+{
+    Hist bulk;
+    bulk.record(77, 1000);
+    Hist loop;
+    for (int i = 0; i < 1000; i++)
+        loop.record(77);
+    EXPECT_TRUE(bulk == loop);
+}
+
+} // namespace
+} // namespace commtm

@@ -26,6 +26,7 @@ SWEEPS = [
     ("fig09_counter", "/(128|256)/"),
     ("fig12_list", "/(128|256)/"),
     ("replay_sweep", "/(128|256)/"),
+    ("svc_counter", "/(128|256)/"),
 ]
 
 
